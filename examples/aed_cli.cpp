@@ -1,0 +1,120 @@
+// aed_cli: file-driven command-line front end.
+//
+// Usage:
+//   aed_cli --configs <file> --policies <file> [--objectives <file>]
+//           [--out <file>] [--sequential] [--no-validate] [--verbose]
+//
+// Reads the network configuration (the canonical dialect; all routers in
+// one file), the post-update policy set (policy/parse.hpp format) and
+// optional management objectives (§7.1 language), then prints the patch,
+// the objective report, and — with --out — writes the updated
+// configurations.
+//
+// Exit codes: 0 success, 1 usage error, 2 synthesis failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "conftree/diff.hpp"
+#include "conftree/parser.hpp"
+#include "conftree/printer.hpp"
+#include "core/aed.hpp"
+#include "policy/parse.hpp"
+#include "simulate/simulator.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw aed::AedError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::cerr << "usage: aed_cli --configs <file> --policies <file>\n"
+               "               [--objectives <file>] [--out <file>]\n"
+               "               [--sequential] [--no-validate] [--verbose]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aed;
+  std::string configsPath, policiesPath, objectivesPath, outPath;
+  AedOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw AedError("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--configs") configsPath = value();
+      else if (arg == "--policies") policiesPath = value();
+      else if (arg == "--objectives") objectivesPath = value();
+      else if (arg == "--out") outPath = value();
+      else if (arg == "--sequential") options.perDestination = false;
+      else if (arg == "--no-validate") options.validateWithSimulator = false;
+      else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
+      else return usage();
+    } catch (const AedError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (configsPath.empty() || policiesPath.empty()) return usage();
+
+  try {
+    const ConfigTree tree = parseNetworkConfig(readFile(configsPath));
+    const PolicySet policies = parsePolicies(readFile(policiesPath));
+    std::vector<Objective> objectives;
+    if (!objectivesPath.empty()) {
+      objectives = parseObjectives(readFile(objectivesPath));
+    }
+
+    Simulator before(tree);
+    std::cout << "routers: " << tree.routers().size()
+              << ", policies: " << policies.size()
+              << " (violated now: " << before.violations(policies).size()
+              << "), objectives: " << objectives.size() << "\n";
+
+    const AedResult result = synthesize(tree, policies, objectives, options);
+    if (!result.success) {
+      std::cerr << "synthesis failed: " << result.error << "\n";
+      return 2;
+    }
+
+    std::cout << "\npatch (" << result.patch.size() << " edits, "
+              << result.stats.totalSeconds << "s, "
+              << result.stats.subproblems << " subproblems):\n"
+              << result.patch.describe();
+    const DiffStats diff = diffNetworks(tree, result.updated);
+    std::cout << "\ndevices changed: " << diff.devicesChanged << "/"
+              << diff.totalDevices << ", lines changed: "
+              << diff.linesChanged() << "\n";
+    if (!objectives.empty()) {
+      std::cout << "objectives satisfied:\n";
+      for (const std::string& label : result.satisfiedObjectives) {
+        std::cout << "  + " << label << "\n";
+      }
+      for (const std::string& label : result.violatedObjectives) {
+        std::cout << "  - " << label << " (violated)\n";
+      }
+    }
+    if (!outPath.empty()) {
+      std::ofstream out(outPath);
+      if (!out) throw AedError("cannot write file: " + outPath);
+      out << printNetworkConfig(result.updated);
+      std::cout << "updated configurations written to " << outPath << "\n";
+    }
+    return 0;
+  } catch (const AedError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

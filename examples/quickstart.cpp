@@ -1,0 +1,128 @@
+// Quickstart: repair a policy violation on the paper's Figure 1 network.
+//
+// The network: four BGP routers. B filters routes from A (deny 1.0.0.0/16,
+// local-preference 20 otherwise) and drops packets sourced from 3.0.0.0/16
+// arriving from D. Three policies must hold:
+//
+//   P1  blocking      3.0.0.0/16 -> 1.0.0.0/16   (already holds)
+//   P2  waypoint      2.0.0.0/16 -> 1.0.0.0/16 via C (already holds)
+//   P3  reachability  3.0.0.0/16 -> 2.0.0.0/16   (violated!)
+//
+// AED computes the minimal update that implements P3 without regressing P1
+// or P2 — a single class-specific permit rule prepended to B's packet
+// filter.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "conftree/diff.hpp"
+#include "conftree/parser.hpp"
+#include "conftree/printer.hpp"
+#include "core/aed.hpp"
+#include "simulate/simulator.hpp"
+
+namespace {
+
+constexpr const char* kConfigs = R"(hostname A
+interface hosts
+ ip address 1.0.0.1/16
+interface toB
+ ip address 10.0.1.1/30
+interface toC
+ ip address 10.0.3.1/30
+router bgp 65001
+ neighbor 10.0.1.2 remote-router B
+ neighbor 10.0.3.2 remote-router C
+ network 1.0.0.0/16
+!
+hostname B
+interface hosts
+ ip address 2.0.0.1/16
+interface toA
+ ip address 10.0.1.2/30
+interface toC
+ ip address 10.0.2.1/30
+interface toD
+ ip address 10.0.4.1/30
+ packet-filter-in pf_b
+router bgp 65002
+ neighbor 10.0.1.1 remote-router A filter-in rf_a
+ neighbor 10.0.2.2 remote-router C
+ neighbor 10.0.4.2 remote-router D
+ network 2.0.0.0/16
+ route-filter rf_a seq 10 deny 1.0.0.0/16
+ route-filter rf_a seq 20 permit any set local-preference 20
+packet-filter pf_b seq 10 deny 3.0.0.0/16 any
+packet-filter pf_b seq 20 permit any any
+!
+hostname C
+interface hosts
+ ip address 4.0.0.1/16
+interface toA
+ ip address 10.0.3.2/30
+interface toB
+ ip address 10.0.2.2/30
+router bgp 65003
+ neighbor 10.0.3.1 remote-router A
+ neighbor 10.0.2.1 remote-router B
+ network 4.0.0.0/16
+!
+hostname D
+interface hosts
+ ip address 3.0.0.1/16
+interface toB
+ ip address 10.0.4.2/30
+router bgp 65004
+ neighbor 10.0.4.1 remote-router B
+ network 3.0.0.0/16
+)";
+
+aed::TrafficClass cls(const char* src, const char* dst) {
+  return {*aed::Ipv4Prefix::parse(src), *aed::Ipv4Prefix::parse(dst)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace aed;
+
+  // 1. Parse the current configurations.
+  ConfigTree tree = parseNetworkConfig(kConfigs);
+
+  // 2. State the full post-update policy set (existing + new).
+  const PolicySet policies = {
+      Policy::blocking(cls("3.0.0.0/16", "1.0.0.0/16")),           // P1
+      Policy::waypoint(cls("2.0.0.0/16", "1.0.0.0/16"), {"C"}),    // P2
+      Policy::reachability(cls("3.0.0.0/16", "2.0.0.0/16")),       // P3
+  };
+  Simulator before(tree);
+  std::cout << "Policies violated before the update: "
+            << before.violations(policies).size() << "\n\n";
+
+  // 3. Synthesize the update (no objectives: AED defaults to minimal churn).
+  const AedResult result = synthesize(tree, policies);
+  if (!result.success) {
+    std::cerr << "synthesis failed: " << result.error << "\n";
+    return 1;
+  }
+
+  // 4. Inspect the patch — the syntax-tree additions/removals.
+  std::cout << "Synthesized update (" << result.patch.size() << " edits, "
+            << result.stats.totalSeconds << "s):\n"
+            << result.patch.describe() << "\n";
+
+  // 5. Verify with the independent control-plane simulator and show churn.
+  Simulator after(result.updated);
+  std::cout << "Policies violated after the update:  "
+            << after.violations(policies).size() << "\n";
+  const DiffStats diff = diffNetworks(tree, result.updated);
+  std::cout << "Devices changed: " << diff.devicesChanged << "/"
+            << diff.totalDevices << ", lines changed: " << diff.linesChanged()
+            << "\n\n";
+
+  // 6. Print router B's updated configuration.
+  std::cout << "Updated configuration of router B:\n"
+            << printRouterConfig(*result.updated.router("B"));
+  return 0;
+}

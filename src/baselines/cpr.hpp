@@ -1,0 +1,28 @@
+// CPR-like baseline: graph-based control-plane repair (Gember-Jacobson et
+// al., SOSP'17).
+//
+// CPR models the control plane as a graph and computes repairs that change
+// the fewest configuration lines. Its objective is baked in: it can neither
+// preserve templates nor avoid features (Table 1). This reimplementation
+// keeps that spirit: a greedy search over concrete single-point repairs,
+// each validated with the control-plane simulator, always choosing the
+// candidate that adds the fewest lines — without any notion of clones,
+// roles, or feature budgets.
+#pragma once
+
+#include "conftree/tree.hpp"
+#include "policy/policy.hpp"
+
+namespace aed {
+
+struct CprResult {
+  bool success = false;
+  ConfigTree updated;
+  std::string error;
+  double seconds = 0.0;
+  int linesChanged = 0;
+};
+
+CprResult cprRepair(const ConfigTree& tree, const PolicySet& policies);
+
+}  // namespace aed

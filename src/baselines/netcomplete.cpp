@@ -1,0 +1,24 @@
+#include "baselines/netcomplete.hpp"
+
+namespace aed {
+
+AedOptions netCompleteOptions(unsigned seed) {
+  AedOptions options;
+  options.perDestination = false;          // one monolithic problem
+  options.sketch.pruneIrrelevant = false;  // everything stays symbolic
+  options.encoder.booleanLp = false;       // raw integer metric variables
+  options.defaultMinimality = false;       // no anchoring to current values
+  options.randomPhaseSeed = seed == 0 ? 7 : seed;
+  // The clean-slate solver has no simulator in the loop either, but keeping
+  // validation on lets callers trust the returned tree; repairs stay rare
+  // because the hard constraints are the same as AED's.
+  options.maxRepairIterations = 5;
+  return options;
+}
+
+AedResult netCompleteSynthesize(const ConfigTree& tree,
+                                const PolicySet& policies, unsigned seed) {
+  return synthesize(tree, policies, {}, netCompleteOptions(seed));
+}
+
+}  // namespace aed

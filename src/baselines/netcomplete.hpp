@@ -1,0 +1,29 @@
+// NetComplete-like baseline (El-Hassany et al., NSDI'18) run the way the
+// paper ran it: "with all configuration constructs made symbolic".
+//
+// NetComplete synthesizes concrete values for the symbolic holes of a
+// configuration sketch with no notion of the *previous* values and no
+// management objectives. We emulate that by running AED's own encoder with:
+//   * no per-delta minimality soft constraints (no anchoring to the current
+//     configuration) and randomized solver phase, so don't-care constructs
+//     get arbitrary values — the source of the churn Figure 9 reports;
+//   * no pruning, integer (not boolean) metric variables, and a single
+//     monolithic problem — the sources of the slowdown Figure 11b reports.
+#pragma once
+
+#include "conftree/tree.hpp"
+#include "core/aed.hpp"
+#include "policy/policy.hpp"
+
+namespace aed {
+
+/// Runs the clean-slate baseline; the result reuses AedResult.
+AedResult netCompleteSynthesize(const ConfigTree& tree,
+                                const PolicySet& policies,
+                                unsigned seed = 7);
+
+/// The options the baseline runs with (exposed for benches that want to
+/// tweak a single knob).
+AedOptions netCompleteOptions(unsigned seed = 7);
+
+}  // namespace aed

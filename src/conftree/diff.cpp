@@ -1,0 +1,183 @@
+#include "conftree/diff.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "conftree/printer.hpp"
+
+namespace aed {
+
+namespace {
+
+// Multiset of config lines for one router.
+std::multiset<std::string> lineSet(const Node& router) {
+  const auto lines = configLines(router);
+  return {lines.begin(), lines.end()};
+}
+
+// Lines in `a` not matched by lines in `b` (multiset difference size).
+int multisetMinus(const std::multiset<std::string>& a,
+                  const std::multiset<std::string>& b) {
+  int count = 0;
+  auto itA = a.begin();
+  auto itB = b.begin();
+  while (itA != a.end()) {
+    if (itB == b.end() || *itA < *itB) {
+      ++count;
+      ++itA;
+    } else if (*itB < *itA) {
+      ++itB;
+    } else {
+      ++itA;
+      ++itB;
+    }
+  }
+  return count;
+}
+
+// Filter content of a router: all route-filter and packet-filter rule lines,
+// with the filter names preserved (templates copy filters verbatim,
+// including names).
+std::vector<std::string> filterContent(const Node& router) {
+  std::vector<std::string> content;
+  for (const std::string& line : configLines(router)) {
+    const std::string_view view = line;
+    const std::string_view trimmed =
+        view.substr(view.find_first_not_of(' '));
+    if (trimmed.rfind("route-filter ", 0) == 0 ||
+        trimmed.rfind("packet-filter ", 0) == 0) {
+      content.emplace_back(trimmed);
+    }
+  }
+  std::sort(content.begin(), content.end());
+  return content;
+}
+
+std::map<std::string, const Node*> routersByName(const ConfigTree& tree) {
+  std::map<std::string, const Node*> out;
+  for (const Node* router : tree.routers()) out[router->name()] = router;
+  return out;
+}
+
+}  // namespace
+
+DiffStats diffNetworks(const ConfigTree& before, const ConfigTree& after) {
+  DiffStats stats;
+  const auto beforeRouters = routersByName(before);
+  const auto afterRouters = routersByName(after);
+
+  std::set<std::string> allNames;
+  for (const auto& [name, router] : beforeRouters) allNames.insert(name);
+  for (const auto& [name, router] : afterRouters) allNames.insert(name);
+  stats.totalDevices = static_cast<int>(allNames.size());
+
+  for (const std::string& name : allNames) {
+    const auto beforeIt = beforeRouters.find(name);
+    const auto afterIt = afterRouters.find(name);
+    const std::multiset<std::string> beforeLines =
+        beforeIt == beforeRouters.end() ? std::multiset<std::string>{}
+                                        : lineSet(*beforeIt->second);
+    const std::multiset<std::string> afterLines =
+        afterIt == afterRouters.end() ? std::multiset<std::string>{}
+                                      : lineSet(*afterIt->second);
+    stats.totalLinesBefore += static_cast<int>(beforeLines.size());
+    const int removed = multisetMinus(beforeLines, afterLines);
+    const int added = multisetMinus(afterLines, beforeLines);
+    stats.linesRemoved += removed;
+    stats.linesAdded += added;
+    if (removed + added > 0) {
+      ++stats.devicesChanged;
+      stats.changedRouters.insert(name);
+    }
+  }
+  return stats;
+}
+
+int packetFilterRulesAdded(const ConfigTree& before, const ConfigTree& after) {
+  const auto beforeRouters = routersByName(before);
+  int added = 0;
+  for (const Node* router : after.routers()) {
+    std::multiset<std::string> beforeRules;
+    const auto beforeIt = beforeRouters.find(router->name());
+    if (beforeIt != beforeRouters.end()) {
+      for (const std::string& line : filterContent(*beforeIt->second)) {
+        if (line.rfind("packet-filter ", 0) == 0) beforeRules.insert(line);
+      }
+    }
+    std::multiset<std::string> afterRules;
+    for (const std::string& line : filterContent(*router)) {
+      if (line.rfind("packet-filter ", 0) == 0) afterRules.insert(line);
+    }
+    added += multisetMinus(afterRules, beforeRules);
+  }
+  return added;
+}
+
+int packetFiltersAdded(const ConfigTree& before, const ConfigTree& after) {
+  const auto beforeRouters = routersByName(before);
+  int added = 0;
+  for (const Node* router : after.routers()) {
+    const auto beforeIt = beforeRouters.find(router->name());
+    for (const Node* filter : router->childrenOfKind(NodeKind::kPacketFilter)) {
+      const bool existed =
+          beforeIt != beforeRouters.end() &&
+          beforeIt->second->findChild(NodeKind::kPacketFilter,
+                                      filter->name()) != nullptr;
+      if (!existed) ++added;
+    }
+  }
+  return added;
+}
+
+TemplateGroups computeTemplateGroups(const ConfigTree& tree) {
+  // Key: (role, filter content). Routers with no filters form no template.
+  std::map<std::pair<std::string, std::vector<std::string>>,
+           std::vector<std::string>>
+      byContent;
+  for (const Node* router : tree.routers()) {
+    const auto content = filterContent(*router);
+    if (content.empty()) continue;
+    byContent[{router->attr("role"), content}].push_back(router->name());
+  }
+  TemplateGroups groups;
+  for (auto& [key, names] : byContent) {
+    if (names.size() >= 2) {
+      std::sort(names.begin(), names.end());
+      groups.groups.push_back(std::move(names));
+    }
+  }
+  return groups;
+}
+
+int countTemplateViolations(const TemplateGroups& groups,
+                            const ConfigTree& after) {
+  const auto afterRouters = routersByName(after);
+  int violations = 0;
+  for (const auto& group : groups.groups) {
+    std::vector<std::vector<std::string>> contents;
+    for (const std::string& name : group) {
+      const auto it = afterRouters.find(name);
+      // A deleted router trivially breaks the template.
+      if (it == afterRouters.end()) {
+        contents.clear();
+        break;
+      }
+      contents.push_back(filterContent(*it->second));
+    }
+    const bool violated =
+        contents.empty() ||
+        !std::all_of(contents.begin() + 1, contents.end(),
+                     [&contents](const auto& c) { return c == contents[0]; });
+    if (violated) ++violations;
+  }
+  return violations;
+}
+
+double templateViolationPct(const TemplateGroups& groups,
+                            const ConfigTree& after) {
+  if (groups.groups.empty()) return 0.0;
+  return 100.0 * countTemplateViolations(groups, after) /
+         static_cast<double>(groups.groups.size());
+}
+
+}  // namespace aed

@@ -1,0 +1,77 @@
+// Change metrics between two configuration trees.
+//
+// These metrics are the measurements behind the paper's management-objective
+// evaluation: Figure 9 reports % devices changed and % lines changed,
+// Figure 10a the number of packet filters added, and Figure 10b the % of
+// configuration templates violated. "Lines" are the printed canonical config
+// lines (one per syntax-tree leaf), counted as a multiset difference, so
+// moving a line between routers counts on both sides.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conftree/tree.hpp"
+
+namespace aed {
+
+struct DiffStats {
+  int totalDevices = 0;
+  int devicesChanged = 0;
+  int totalLinesBefore = 0;
+  int linesAdded = 0;
+  int linesRemoved = 0;
+  std::set<std::string> changedRouters;
+
+  int linesChanged() const { return linesAdded + linesRemoved; }
+  double devicesChangedPct() const {
+    return totalDevices == 0
+               ? 0.0
+               : 100.0 * devicesChanged / static_cast<double>(totalDevices);
+  }
+  double linesChangedPct() const {
+    return totalLinesBefore == 0 ? 0.0
+                                 : 100.0 * linesChanged() /
+                                       static_cast<double>(totalLinesBefore);
+  }
+};
+
+/// Line-level diff between two versions of the same network. Routers present
+/// in only one tree count as fully changed.
+DiffStats diffNetworks(const ConfigTree& before, const ConfigTree& after);
+
+/// Number of packet-filter rule lines present in `after` but not `before`
+/// (the Figure 10a metric; AED's min-pfs objective minimizes it).
+int packetFilterRulesAdded(const ConfigTree& before, const ConfigTree& after);
+
+/// Number of distinct packet filters (by router+name) in `after` that do not
+/// exist in `before`.
+int packetFiltersAdded(const ConfigTree& before, const ConfigTree& after);
+
+/// Template groups: routers clustered by identical filter content, the
+/// grouping the paper uses ("we group configurations based on their filter
+/// rules in the before snapshot"). Each group of size >= 2 constitutes one
+/// template.
+struct TemplateGroups {
+  /// Each group lists router names sharing a filter template.
+  std::vector<std::vector<std::string>> groups;
+};
+
+/// Groups routers of `tree` by identical filter content (route + packet
+/// filter rule lines). If routers carry a "role" attribute, grouping is
+/// refined by role first (same-role devices share a template).
+TemplateGroups computeTemplateGroups(const ConfigTree& tree);
+
+/// Counts template violations in `after`: a group violates its template if
+/// its members' filter content is no longer identical. Returns the number of
+/// violated groups; percentage helpers divide by groups.size().
+int countTemplateViolations(const TemplateGroups& groups,
+                            const ConfigTree& after);
+
+/// 100 * violations / templates (0 if no templates).
+double templateViolationPct(const TemplateGroups& groups,
+                            const ConfigTree& after);
+
+}  // namespace aed

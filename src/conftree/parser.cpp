@@ -1,0 +1,264 @@
+#include "conftree/parser.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/ipv4.hpp"
+#include "util/strings.hpp"
+
+namespace aed {
+
+namespace {
+
+/// Parser state machine over line tokens.
+class Parser {
+ public:
+  explicit Parser(ConfigTree& tree) : tree_(tree) {}
+
+  void feed(std::string_view line, int lineNo) {
+    lineNo_ = lineNo;
+    lineText_ = std::string(trim(line));
+    if (lineText_.empty() || lineText_.front() == '!' ||
+        lineText_.front() == '#') {
+      return;
+    }
+    tokens_ = splitWhitespace(lineText_);
+    const bool indented = line.front() == ' ' || line.front() == '\t';
+    if (!indented) block_ = nullptr;  // top-level line ends any block
+    dispatch(indented);
+  }
+
+  Node* currentRouter() const { return router_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw AedError("config parse error at line " + std::to_string(lineNo_) +
+                   " (" + lineText_ + "): " + why);
+  }
+
+  std::string_view tok(std::size_t i) const {
+    if (i >= tokens_.size()) fail("missing token " + std::to_string(i));
+    return tokens_[i];
+  }
+
+  void expectTokens(std::size_t count) const {
+    if (tokens_.size() != count) {
+      fail("expected " + std::to_string(count) + " tokens, got " +
+           std::to_string(tokens_.size()));
+    }
+  }
+
+  // Canonicalizes "any" to the default route and validates prefixes.
+  std::string parsePrefixToken(std::string_view text) const {
+    if (text == "any") return "0.0.0.0/0";
+    const auto prefix = Ipv4Prefix::parse(text);
+    if (!prefix) fail("bad prefix: " + std::string(text));
+    return prefix->str();
+  }
+
+  // Interface addresses keep their host bits ("192.168.42.1/24"), unlike
+  // prefixes, which are canonicalized to their network address.
+  std::string parseInterfaceAddress(std::string_view text) const {
+    const auto slash = text.find('/');
+    if (slash == std::string_view::npos) fail("bad interface address");
+    const auto addr = Ipv4Address::parse(text.substr(0, slash));
+    const auto prefix = Ipv4Prefix::parse(text);
+    if (!addr || !prefix) fail("bad interface address: " + std::string(text));
+    return addr->str() + std::string(text.substr(slash));
+  }
+
+  std::string parseAddressToken(std::string_view text) const {
+    const auto addr = Ipv4Address::parse(text);
+    if (!addr) fail("bad address: " + std::string(text));
+    return addr->str();
+  }
+
+  void dispatch(bool indented) {
+    const std::string_view head = tok(0);
+    if (head == "hostname") {
+      expectTokens(2);
+      if (tree_.router(tok(1)) != nullptr) {
+        fail("duplicate hostname " + std::string(tok(1)));
+      }
+      router_ = &tree_.addRouter(std::string(tok(1)));
+      block_ = nullptr;
+      return;
+    }
+    if (router_ == nullptr) fail("configuration before hostname");
+    if (!indented) {
+      dispatchTopLevel(head);
+    } else {
+      dispatchBlockLine(head);
+    }
+  }
+
+  void dispatchTopLevel(std::string_view head) {
+    if (head == "role") {
+      expectTokens(2);
+      router_->setAttr("role", std::string(tok(1)));
+    } else if (head == "interface") {
+      expectTokens(2);
+      block_ = &router_->addChild(NodeKind::kInterface);
+      block_->setAttr("name", std::string(tok(1)));
+    } else if (head == "router") {
+      expectTokens(3);
+      const std::string type(tok(1));
+      if (type != "bgp" && type != "ospf" && type != "static") {
+        fail("unknown routing protocol: " + type);
+      }
+      block_ = &router_->addChild(NodeKind::kRoutingProcess);
+      block_->setAttr("type", type);
+      block_->setAttr("name", std::string(tok(2)));
+    } else if (head == "packet-filter") {
+      // packet-filter <name> seq <n> <action> <src> <dst>
+      expectTokens(7);
+      if (tok(2) != "seq") fail("expected 'seq'");
+      Node* filter = router_->findChild(NodeKind::kPacketFilter, tok(1));
+      if (filter == nullptr) {
+        filter = &router_->addChild(NodeKind::kPacketFilter);
+        filter->setAttr("name", std::string(tok(1)));
+      }
+      Node& rule = filter->addChild(NodeKind::kPacketFilterRule);
+      rule.setAttr("seq", std::string(tok(3)));
+      if (tok(4) != "permit" && tok(4) != "deny") fail("bad action");
+      rule.setAttr("action", std::string(tok(4)));
+      rule.setAttr("srcPrefix", parsePrefixToken(tok(5)));
+      rule.setAttr("dstPrefix", parsePrefixToken(tok(6)));
+    } else {
+      fail("unknown top-level directive");
+    }
+  }
+
+  void dispatchBlockLine(std::string_view head) {
+    if (block_ == nullptr) fail("indented line outside a block");
+    if (block_->kind() == NodeKind::kInterface) {
+      dispatchInterfaceLine(head);
+    } else if (block_->kind() == NodeKind::kRoutingProcess) {
+      dispatchProcessLine(head);
+    } else {
+      fail("indented line in unexpected block");
+    }
+  }
+
+  void dispatchInterfaceLine(std::string_view head) {
+    if (head == "ip") {
+      expectTokens(3);
+      if (tok(1) != "address") fail("expected 'ip address'");
+      block_->setAttr("address", parseInterfaceAddress(tok(2)));
+    } else if (head == "packet-filter-in") {
+      expectTokens(2);
+      block_->setAttr("pfilterIn", std::string(tok(1)));
+    } else if (head == "packet-filter-out") {
+      expectTokens(2);
+      block_->setAttr("pfilterOut", std::string(tok(1)));
+    } else {
+      fail("unknown interface directive");
+    }
+  }
+
+  void dispatchProcessLine(std::string_view head) {
+    const std::string type = block_->attr("type");
+    if (head == "neighbor") {
+      // neighbor <ip> remote-router <name> [filter-in <rfname>] [cost <n>]
+      if (tokens_.size() < 4 || tokens_.size() % 2 != 0) {
+        fail("bad neighbor line");
+      }
+      if (tok(2) != "remote-router") fail("expected 'remote-router'");
+      Node& adj = block_->addChild(NodeKind::kAdjacency);
+      adj.setAttr("peerIp", parseAddressToken(tok(1)));
+      adj.setAttr("peer", std::string(tok(3)));
+      for (std::size_t i = 4; i + 1 < tokens_.size(); i += 2) {
+        if (tok(i) == "filter-in") {
+          adj.setAttr("filterIn", std::string(tok(i + 1)));
+        } else if (tok(i) == "cost") {
+          const int value = std::atoi(std::string(tok(i + 1)).c_str());
+          if (value <= 0) fail("cost must be a positive integer");
+          adj.setAttr("cost", std::to_string(value));
+        } else {
+          fail("unknown neighbor clause: " + std::string(tok(i)));
+        }
+      }
+    } else if (head == "network") {
+      expectTokens(2);
+      if (type == "static") fail("'network' not valid in static process");
+      Node& orig = block_->addChild(NodeKind::kOrigination);
+      orig.setAttr("prefix", parsePrefixToken(tok(1)));
+    } else if (head == "route") {
+      expectTokens(3);
+      if (type != "static") fail("'route' only valid in static process");
+      Node& orig = block_->addChild(NodeKind::kOrigination);
+      orig.setAttr("prefix", parsePrefixToken(tok(1)));
+      orig.setAttr("nexthop", parseAddressToken(tok(2)));
+    } else if (head == "redistribute") {
+      expectTokens(2);
+      Node& redist = block_->addChild(NodeKind::kRedistribution);
+      redist.setAttr("from", std::string(tok(1)));
+    } else if (head == "route-filter") {
+      // route-filter <name> seq <n> <action> <prefix>
+      //   [set local-preference <n>] [set med <n>]
+      if (tokens_.size() < 6) fail("bad route-filter line");
+      if (tok(2) != "seq") fail("expected 'seq'");
+      Node* filter = block_->findChild(NodeKind::kRouteFilter, tok(1));
+      if (filter == nullptr) {
+        filter = &block_->addChild(NodeKind::kRouteFilter);
+        filter->setAttr("name", std::string(tok(1)));
+      }
+      Node& rule = filter->addChild(NodeKind::kRouteFilterRule);
+      rule.setAttr("seq", std::string(tok(3)));
+      if (tok(4) != "permit" && tok(4) != "deny") fail("bad action");
+      rule.setAttr("action", std::string(tok(4)));
+      rule.setAttr("prefix", parsePrefixToken(tok(5)));
+      std::size_t i = 6;
+      while (i < tokens_.size()) {
+        if (tok(i) != "set" || i + 2 >= tokens_.size()) {
+          fail("expected 'set local-preference <n>' or 'set med <n>'");
+        }
+        const std::string what(tok(i + 1));
+        const int value = std::atoi(std::string(tok(i + 2)).c_str());
+        if (value < 0) fail("metric must be non-negative");
+        if (what == "local-preference") {
+          rule.setAttr("lp", std::to_string(value));
+        } else if (what == "med") {
+          rule.setAttr("med", std::to_string(value));
+        } else {
+          fail("unknown set action: " + what);
+        }
+        i += 3;
+      }
+    } else {
+      fail("unknown process directive");
+    }
+  }
+
+  ConfigTree& tree_;
+  Node* router_ = nullptr;
+  Node* block_ = nullptr;
+  int lineNo_ = 0;
+  std::string lineText_;
+  std::vector<std::string_view> tokens_;
+};
+
+}  // namespace
+
+ConfigTree parseNetworkConfig(std::string_view text) {
+  ConfigTree tree;
+  Parser parser(tree);
+  int lineNo = 0;
+  for (std::string_view line : splitChar(text, '\n')) {
+    parser.feed(line, ++lineNo);
+  }
+  return tree;
+}
+
+Node& parseRouterConfig(ConfigTree& tree, std::string_view text) {
+  Parser parser(tree);
+  int lineNo = 0;
+  for (std::string_view line : splitChar(text, '\n')) {
+    parser.feed(line, ++lineNo);
+  }
+  Node* router = parser.currentRouter();
+  require(router != nullptr, "router config contained no hostname");
+  return *router;
+}
+
+}  // namespace aed

@@ -1,0 +1,24 @@
+// Parses the canonical config dialect (see printer.hpp) into a syntax tree.
+//
+// A network configuration is the concatenation of router configurations;
+// each router stanza begins with `hostname <name>`. The parser is strict:
+// malformed lines raise AedError with the offending line number and text,
+// because silently dropping configuration would corrupt the synthesis
+// problem.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "conftree/tree.hpp"
+
+namespace aed {
+
+/// Parses one or more routers' configurations into a fresh tree.
+ConfigTree parseNetworkConfig(std::string_view text);
+
+/// Parses a single router stanza and appends it to `tree`.
+/// Throws if a router with the same hostname already exists.
+Node& parseRouterConfig(ConfigTree& tree, std::string_view text);
+
+}  // namespace aed

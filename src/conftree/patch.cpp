@@ -1,0 +1,106 @@
+#include "conftree/patch.hpp"
+
+#include "util/error.hpp"
+
+namespace aed {
+
+namespace {
+
+// The router name is the first path component's name attribute:
+// Router[name=X]/...
+std::string routerOfPath(const std::string& path) {
+  const std::string prefix = "Router[name=";
+  if (path.rfind(prefix, 0) != 0) return "";
+  const auto end = path.find(']');
+  if (end == std::string::npos) return "";
+  return path.substr(prefix.size(), end - prefix.size());
+}
+
+}  // namespace
+
+std::string Edit::describe() const {
+  switch (op) {
+    case Op::kAddNode: {
+      std::string out = "add " + std::string(nodeKindName(kind)) + " under " +
+                        targetPath + " {";
+      bool first = true;
+      for (const auto& [key, value] : attrs) {
+        if (!first) out += ", ";
+        first = false;
+        out += key + "=" + value;
+      }
+      return out + "}";
+    }
+    case Op::kRemoveNode:
+      return "remove " + targetPath;
+    case Op::kSetAttr: {
+      std::string out = "set " + targetPath + " {";
+      bool first = true;
+      for (const auto& [key, value] : attrs) {
+        if (!first) out += ", ";
+        first = false;
+        out += key + "=" + value;
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+void Patch::apply(ConfigTree& tree) const {
+  for (const Edit& edit : edits_) {
+    Node* target = tree.byPath(edit.targetPath);
+    require(target != nullptr, "patch target not found: " + edit.targetPath);
+    switch (edit.op) {
+      case Edit::Op::kAddNode: {
+        Node& created = target->addChild(edit.kind);
+        for (const auto& [key, value] : edit.attrs) {
+          created.setAttr(key, value);
+        }
+        break;
+      }
+      case Edit::Op::kRemoveNode: {
+        Node* parent = target->parent();
+        require(parent != nullptr, "cannot remove the root");
+        parent->removeChild(*target);
+        break;
+      }
+      case Edit::Op::kSetAttr: {
+        for (const auto& [key, value] : edit.attrs) {
+          target->setAttr(key, value);
+        }
+        break;
+      }
+    }
+  }
+}
+
+ConfigTree Patch::applied(const ConfigTree& tree) const {
+  ConfigTree copy = tree.clone();
+  apply(copy);
+  return copy;
+}
+
+std::set<std::string> Patch::touchedRouters() const {
+  std::set<std::string> routers;
+  for (const Edit& edit : edits_) {
+    const std::string router = routerOfPath(edit.targetPath);
+    if (!router.empty()) routers.insert(router);
+  }
+  return routers;
+}
+
+std::string Patch::describe() const {
+  std::string out;
+  for (const Edit& edit : edits_) {
+    out += edit.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+void Patch::append(const Patch& other) {
+  edits_.insert(edits_.end(), other.edits_.begin(), other.edits_.end());
+}
+
+}  // namespace aed

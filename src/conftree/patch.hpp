@@ -1,0 +1,65 @@
+// Configuration patches: ordered lists of syntax-tree edits.
+//
+// AED's output is exactly this: a set of syntax-tree additions and removals
+// (§4 "our key insight is to model configuration updates as a collection of
+// syntax tree additions and removals"), plus attribute modifications for
+// numeric action fields such as local-preference. Edits reference nodes by
+// their path() string so a patch computed against one copy of a tree can be
+// applied to another copy (or re-applied after review).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conftree/tree.hpp"
+
+namespace aed {
+
+struct Edit {
+  enum class Op { kAddNode, kRemoveNode, kSetAttr };
+
+  Op op = Op::kAddNode;
+  /// kRemoveNode/kSetAttr: path of the node itself.
+  /// kAddNode: path of the parent under which the node is created.
+  std::string targetPath;
+  /// kAddNode only: kind of the created node.
+  NodeKind kind = NodeKind::kNetwork;
+  /// kAddNode: full attribute set of the new node.
+  /// kSetAttr: the attributes to overwrite (new values).
+  std::map<std::string, std::string> attrs;
+
+  /// Human-readable one-line description.
+  std::string describe() const;
+};
+
+class Patch {
+ public:
+  void add(Edit edit) { edits_.push_back(std::move(edit)); }
+  const std::vector<Edit>& edits() const { return edits_; }
+  bool empty() const { return edits_.empty(); }
+  std::size_t size() const { return edits_.size(); }
+
+  /// Applies edits in order. Edits may reference nodes created by earlier
+  /// edits in the same patch (e.g. rules added under a new filter).
+  /// Throws AedError if a target path cannot be resolved.
+  void apply(ConfigTree& tree) const;
+
+  /// Convenience: clones `tree`, applies, returns the updated copy.
+  ConfigTree applied(const ConfigTree& tree) const;
+
+  /// Router names touched by at least one edit.
+  std::set<std::string> touchedRouters() const;
+
+  /// Multi-line human-readable description.
+  std::string describe() const;
+
+  /// Concatenates another patch's edits after this one's.
+  void append(const Patch& other);
+
+ private:
+  std::vector<Edit> edits_;
+};
+
+}  // namespace aed

@@ -1,0 +1,162 @@
+#include "conftree/printer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aed {
+
+namespace {
+
+// Prefixes are stored canonically; "0.0.0.0/0" prints as "any" to keep the
+// filter-rule lines idiomatic.
+std::string printPrefix(const std::string& prefix) {
+  return prefix == "0.0.0.0/0" ? "any" : prefix;
+}
+
+std::vector<Node*> sortedByAttr(std::vector<Node*> nodes, const char* key) {
+  std::sort(nodes.begin(), nodes.end(), [key](const Node* a, const Node* b) {
+    return a->attr(key) < b->attr(key);
+  });
+  return nodes;
+}
+
+std::vector<Node*> sortedRulesBySeq(const Node& filter,
+                                    NodeKind ruleKind) {
+  auto rules = filter.childrenOfKind(ruleKind);
+  std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
+    return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+  });
+  return rules;
+}
+
+void printInterface(const Node& iface, std::vector<std::string>& lines) {
+  lines.push_back("interface " + iface.name());
+  if (iface.hasAttr("address")) {
+    lines.push_back(" ip address " + iface.attr("address"));
+  }
+  if (iface.hasAttr("pfilterIn")) {
+    lines.push_back(" packet-filter-in " + iface.attr("pfilterIn"));
+  }
+  if (iface.hasAttr("pfilterOut")) {
+    lines.push_back(" packet-filter-out " + iface.attr("pfilterOut"));
+  }
+}
+
+void printRouteFilter(const Node& filter, std::vector<std::string>& lines) {
+  for (const Node* rule : sortedRulesBySeq(filter, NodeKind::kRouteFilterRule)) {
+    std::string line = " route-filter " + filter.name() + " seq " +
+                       rule->attr("seq") + " " + rule->attr("action") + " " +
+                       printPrefix(rule->attr("prefix"));
+    if (rule->hasAttr("lp")) {
+      line += " set local-preference " + rule->attr("lp");
+    }
+    if (rule->hasAttr("med")) {
+      line += " set med " + rule->attr("med");
+    }
+    lines.push_back(std::move(line));
+  }
+}
+
+void printProcess(const Node& proc, std::vector<std::string>& lines) {
+  lines.push_back("router " + proc.attr("type") + " " + proc.name());
+  for (const Node* adj :
+       sortedByAttr(proc.childrenOfKind(NodeKind::kAdjacency), "peer")) {
+    std::string line = " neighbor " + adj->attr("peerIp") +
+                       " remote-router " + adj->attr("peer");
+    if (adj->hasAttr("filterIn")) {
+      line += " filter-in " + adj->attr("filterIn");
+    }
+    if (adj->hasAttr("cost")) {
+      line += " cost " + adj->attr("cost");
+    }
+    lines.push_back(std::move(line));
+  }
+  for (const Node* orig :
+       sortedByAttr(proc.childrenOfKind(NodeKind::kOrigination), "prefix")) {
+    if (proc.attr("type") == "static") {
+      lines.push_back(" route " + orig->attr("prefix") + " " +
+                      orig->attr("nexthop"));
+    } else {
+      lines.push_back(" network " + orig->attr("prefix"));
+    }
+  }
+  for (const Node* redist :
+       sortedByAttr(proc.childrenOfKind(NodeKind::kRedistribution), "from")) {
+    lines.push_back(" redistribute " + redist->attr("from"));
+  }
+  for (const Node* filter :
+       sortedByAttr(proc.childrenOfKind(NodeKind::kRouteFilter), "name")) {
+    printRouteFilter(*filter, lines);
+  }
+}
+
+void printPacketFilter(const Node& filter, std::vector<std::string>& lines) {
+  for (const Node* rule :
+       sortedRulesBySeq(filter, NodeKind::kPacketFilterRule)) {
+    lines.push_back("packet-filter " + filter.name() + " seq " +
+                    rule->attr("seq") + " " + rule->attr("action") + " " +
+                    printPrefix(rule->attr("srcPrefix")) + " " +
+                    printPrefix(rule->attr("dstPrefix")));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> configLines(const Node& router) {
+  require(router.kind() == NodeKind::kRouter,
+          "configLines expects a Router node");
+  std::vector<std::string> lines;
+  lines.push_back("hostname " + router.name());
+  if (router.hasAttr("role")) {
+    lines.push_back("role " + router.attr("role"));
+  }
+  for (const Node* iface :
+       sortedByAttr(router.childrenOfKind(NodeKind::kInterface), "name")) {
+    printInterface(*iface, lines);
+  }
+  // Processes sorted by (type, name): bgp before ospf before static.
+  auto procs = router.childrenOfKind(NodeKind::kRoutingProcess);
+  std::sort(procs.begin(), procs.end(), [](const Node* a, const Node* b) {
+    return std::pair(a->attr("type"), a->name()) <
+           std::pair(b->attr("type"), b->name());
+  });
+  for (const Node* proc : procs) printProcess(*proc, lines);
+  for (const Node* filter :
+       sortedByAttr(router.childrenOfKind(NodeKind::kPacketFilter), "name")) {
+    printPacketFilter(*filter, lines);
+  }
+  return lines;
+}
+
+std::string printRouterConfig(const Node& router) {
+  std::string out;
+  std::string previousTop;
+  for (const std::string& line : configLines(router)) {
+    // Insert a "!" separator between top-level stanzas for readability.
+    if (!line.empty() && line.front() != ' ' && !out.empty() &&
+        line.substr(0, line.find(' ')) != previousTop) {
+      out += "!\n";
+    }
+    if (!line.empty() && line.front() != ' ') {
+      previousTop = line.substr(0, line.find(' '));
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string printNetworkConfig(const ConfigTree& tree) {
+  auto routers = tree.routers();
+  std::sort(routers.begin(), routers.end(),
+            [](const Node* a, const Node* b) { return a->name() < b->name(); });
+  std::string out;
+  for (const Node* router : routers) {
+    if (!out.empty()) out += "\n";
+    out += printRouterConfig(*router);
+  }
+  return out;
+}
+
+}  // namespace aed

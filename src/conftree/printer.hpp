@@ -1,0 +1,46 @@
+// Prints configuration trees back to the canonical text dialect.
+//
+// The dialect is Cisco-IOS-flavored but normalized so that every leaf node of
+// the syntax tree prints as exactly one line (the paper's Figure 4 notes each
+// leaf represents a single configuration line). Printing is deterministic:
+// routers, interfaces, processes, rules all appear in a fixed sort order, so
+// text diffs between two printed trees reflect semantic differences only.
+//
+// Example:
+//   hostname B
+//   role aggregation
+//   !
+//   interface eth0
+//    ip address 192.168.42.1/24
+//    packet-filter-in pf_core
+//   !
+//   router bgp 65000
+//    neighbor 192.168.42.2 remote-router A filter-in rf_a
+//    network 2.0.0.0/16
+//    redistribute ospf
+//    route-filter rf_a seq 10 deny 1.0.0.0/16
+//    route-filter rf_a seq 20 permit any set local-preference 20
+//   !
+//   packet-filter pf_core seq 10 deny 3.0.0.0/16 any
+//   packet-filter pf_core seq 20 permit any any
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conftree/tree.hpp"
+
+namespace aed {
+
+/// Prints one router's configuration.
+std::string printRouterConfig(const Node& router);
+
+/// Prints every router in the network, separated by blank lines, in
+/// name-sorted order.
+std::string printNetworkConfig(const ConfigTree& tree);
+
+/// The individual lines of one router's configuration (no blank/! lines).
+/// The diff module counts changed lines over this representation.
+std::vector<std::string> configLines(const Node& router);
+
+}  // namespace aed

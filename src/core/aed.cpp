@@ -1,0 +1,311 @@
+#include "core/aed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "objectives/translate.hpp"
+#include "simulate/simulator.hpp"
+#include "smt/session.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aed {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One MaxSMT subproblem (the whole problem, or one destination group).
+struct SubResult {
+  bool sat = false;
+  Patch patch;
+  std::vector<std::string> satisfied;
+  std::vector<std::string> violated;
+  std::vector<std::string> activeDeltas;  // for blocking on repair
+  double seconds = 0.0;
+  std::size_t deltaCount = 0;
+};
+
+SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
+                          const PolicySet& policies,
+                          const std::vector<Objective>& objectives,
+                          const AedOptions& options,
+                          const std::vector<std::vector<std::string>>&
+                              blockedDeltaSets) {
+  const auto start = Clock::now();
+  SubResult result;
+
+  const Sketch sketch = buildSketch(tree, topo, policies, options.sketch);
+  result.deltaCount = sketch.deltas().size();
+
+  SmtSession session;
+  if (options.randomPhaseSeed != 0) {
+    session.randomizePhase(options.randomPhaseSeed);
+  }
+  Encoder encoder(session, tree, topo, sketch, options.encoder);
+  encoder.encode(policies);
+
+  // Block delta combinations that previously failed simulator validation.
+  for (const auto& blocked : blockedDeltaSets) {
+    z3::expr all = session.boolVal(true);
+    bool any = false;
+    for (const std::string& name : blocked) {
+      const DeltaVar* delta = sketch.findByName(name);
+      if (delta == nullptr) continue;
+      all = all && encoder.deltaActive(*delta);
+      any = true;
+    }
+    if (any) session.addHard(!all);
+  }
+
+  // User objectives (scaled), then the default minimality pressure.
+  std::vector<Objective> scaled = objectives;
+  for (Objective& objective : scaled) {
+    objective.weight *= options.objectiveWeightScale;
+  }
+  addObjectives(encoder, scaled);
+  if (options.defaultMinimality) {
+    addPerDeltaMinimality(encoder, options.minimalityWeight);
+  }
+
+  const SmtSession::Result check = session.check();
+  result.sat = check.sat;
+  result.seconds = secondsSince(start);
+  if (!check.sat) return result;
+
+  result.patch = encoder.extractPatch();
+  for (const DeltaVar& delta : sketch.deltas()) {
+    if (session.evalBool(encoder.deltaActive(delta))) {
+      result.activeDeltas.push_back(delta.name);
+    }
+  }
+  // Only user objectives are reported; the per-delta minimality softs are an
+  // internal mechanism.
+  for (const std::string& label : check.satisfiedObjectives) {
+    if (label.rfind("min-change:", 0) != 0) result.satisfied.push_back(label);
+  }
+  for (const std::string& label : check.violatedObjectives) {
+    if (label.rfind("min-change:", 0) != 0) result.violated.push_back(label);
+  }
+  return result;
+}
+
+}  // namespace
+
+Patch mergePatches(const std::vector<Patch>& patches) {
+  Patch merged;
+  std::set<std::string> seen;            // dedupe identical edits
+  std::set<std::pair<std::string, int>> usedSeqs;
+  std::map<std::string, int> nextSeq;    // per filter path
+
+  const auto editKey = [](const Edit& edit) {
+    std::string key = std::to_string(static_cast<int>(edit.op)) + "|" +
+                      edit.targetPath + "|" +
+                      std::string(nodeKindName(edit.kind));
+    for (const auto& [k, v] : edit.attrs) key += "|" + k + "=" + v;
+    return key;
+  };
+
+  for (const Patch& patch : patches) {
+    for (const Edit& edit : patch.edits()) {
+      Edit copy = edit;
+      const bool isRuleAdd =
+          copy.op == Edit::Op::kAddNode &&
+          (copy.kind == NodeKind::kRouteFilterRule ||
+           copy.kind == NodeKind::kPacketFilterRule) &&
+          copy.attrs.count("seq") != 0;
+      if (isRuleAdd) {
+        int seq = std::stoi(copy.attrs.at("seq"));
+        if (usedSeqs.count({copy.targetPath, seq}) != 0 &&
+            seen.count(editKey(copy)) == 0) {
+          // Colliding sequence number from a parallel subproblem: allocate
+          // the next free one below everything seen for this filter.
+          auto it = nextSeq.find(copy.targetPath);
+          int candidate = it == nextSeq.end() ? seq - 1 : it->second;
+          while (usedSeqs.count({copy.targetPath, candidate}) != 0) {
+            --candidate;
+          }
+          seq = candidate;
+          copy.attrs["seq"] = std::to_string(seq);
+        }
+        usedSeqs.insert({copy.targetPath, seq});
+        nextSeq[copy.targetPath] = seq - 1;
+      }
+      const std::string key = editKey(copy);
+      if (seen.insert(key).second) merged.add(std::move(copy));
+    }
+  }
+  return merged;
+}
+
+AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
+                     const std::vector<Objective>& objectives,
+                     const AedOptions& options) {
+  const auto start = Clock::now();
+  AedResult result;
+  result.updated = tree.clone();
+
+  Topology topo = Topology::fromConfigs(tree);
+
+  // ---- partition into subproblems -----------------------------------------
+  AedOptions effective = options;
+  std::vector<PolicySet> groups;
+  if (options.perDestination) {
+    for (auto& [dst, set] : groupByDestination(policies)) {
+      groups.push_back(set);
+    }
+    // Confine each subproblem to destination-local changes so parallel
+    // solutions cannot conflict (§8; see SketchOptions::destinationScoped).
+    if (groups.size() > 1) effective.sketch.destinationScoped = true;
+  } else if (!policies.empty()) {
+    groups.push_back(policies);
+  }
+  result.stats.subproblems = groups.size();
+
+  // ---- solve (with simulator-validated repair rounds) ---------------------
+  std::vector<std::vector<std::string>> blocked;  // shared across rounds
+  std::vector<SubResult> subResults(groups.size());
+  std::vector<bool> needsSolve(groups.size(), true);
+
+  const std::size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  for (int round = 0; round <= options.maxRepairIterations; ++round) {
+    // Solve all pending subproblems (in parallel when enabled).
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (needsSolve[i]) pending.push_back(i);
+    }
+    if (pending.empty()) break;
+    // Workers write only their own subResults slot; needsSolve (bit-packed
+    // vector<bool>) is updated on this thread afterwards.
+    const auto solveOne = [&](std::size_t i) {
+      subResults[i] = solveSubproblem(tree, topo, groups[i], objectives,
+                                      effective, blocked);
+    };
+    if (options.perDestination && pending.size() > 1 && workers > 1) {
+      ThreadPool pool(std::min(workers, pending.size()));
+      std::vector<std::future<void>> futures;
+      for (std::size_t i : pending) {
+        futures.push_back(pool.submit([&solveOne, i] { solveOne(i); }));
+      }
+      for (auto& future : futures) future.get();
+    } else {
+      for (std::size_t i : pending) solveOne(i);
+    }
+    for (std::size_t i : pending) needsSolve[i] = false;
+
+    // Any unsat subproblem is fatal: the policies conflict (§11 "SMT output
+    // for special cases").
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (!subResults[i].sat) {
+        result.error =
+            "unsatisfiable: the policies cannot all be implemented "
+            "(subproblem " +
+            std::to_string(i) + ", " + std::to_string(groups[i].size()) +
+            " policies)";
+        result.stats.totalSeconds = secondsSince(start);
+        return result;
+      }
+    }
+
+    // Merge and validate against the concrete simulator.
+    std::vector<Patch> patches;
+    for (const SubResult& sub : subResults) patches.push_back(sub.patch);
+    Patch merged = mergePatches(patches);
+    ConfigTree updated = merged.applied(tree);
+
+    if (!options.validateWithSimulator) {
+      result.patch = std::move(merged);
+      result.updated = std::move(updated);
+      break;
+    }
+    Simulator sim(updated);
+    const PolicySet violated = sim.violations(policies);
+    if (violated.empty()) {
+      result.patch = std::move(merged);
+      result.updated = std::move(updated);
+      break;
+    }
+    ++result.stats.repairRounds;
+    if (round == options.maxRepairIterations) {
+      result.error = "validation failed after repair rounds: " +
+                     std::to_string(violated.size()) +
+                     " policies still violated (first: " + violated[0].str() +
+                     ")";
+      result.stats.totalSeconds = secondsSince(start);
+      return result;
+    }
+    // Block the delta sets of the subproblems owning the violated policies
+    // and re-solve just those.
+    logWarn() << "patch failed simulation for " << violated.size()
+              << " policies; blocking and re-solving";
+    for (const Policy& policy : violated) {
+      bool blamed = false;
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        const bool owns =
+            std::any_of(groups[i].begin(), groups[i].end(),
+                        [&policy](const Policy& p) {
+                          return p.cls.dst == policy.cls.dst;
+                        });
+        if (!owns || subResults[i].activeDeltas.empty()) continue;
+        blocked.push_back(subResults[i].activeDeltas);
+        needsSolve[i] = true;
+        blamed = true;
+      }
+      if (!blamed) {
+        // The owning subproblem made no changes: another group's deltas
+        // broke this policy. Block every non-empty group.
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+          if (subResults[i].activeDeltas.empty()) continue;
+          blocked.push_back(subResults[i].activeDeltas);
+          needsSolve[i] = true;
+          blamed = true;
+        }
+      }
+      if (!blamed) {
+        result.error =
+            "model/simulator divergence with an empty patch for " +
+            policy.str();
+        result.stats.totalSeconds = secondsSince(start);
+        return result;
+      }
+    }
+  }
+
+  // ---- aggregate stats and objective reports -------------------------------
+  std::set<std::string> violatedLabels;
+  for (const SubResult& sub : subResults) {
+    for (const std::string& label : sub.violated) {
+      violatedLabels.insert(label);
+    }
+    result.stats.deltaCount += sub.deltaCount;
+    result.stats.maxSubproblemSeconds =
+        std::max(result.stats.maxSubproblemSeconds, sub.seconds);
+    result.stats.sumSubproblemSeconds += sub.seconds;
+  }
+  std::set<std::string> satisfiedLabels;
+  for (const SubResult& sub : subResults) {
+    for (const std::string& label : sub.satisfied) {
+      if (violatedLabels.count(label) == 0) satisfiedLabels.insert(label);
+    }
+  }
+  result.satisfiedObjectives.assign(satisfiedLabels.begin(),
+                                    satisfiedLabels.end());
+  result.violatedObjectives.assign(violatedLabels.begin(),
+                                   violatedLabels.end());
+  result.stats.totalSeconds = secondsSince(start);
+  result.success = true;
+  return result;
+}
+
+}  // namespace aed

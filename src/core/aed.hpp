@@ -1,0 +1,99 @@
+// AED: the top-level synthesis engine (§4, §8).
+//
+// synthesize() takes the current configurations, the full set of forwarding
+// policies the updated network must satisfy (already-satisfied ones included
+// — AED must not regress them), and the operator's management objectives.
+// It returns a patch (syntax-tree additions/removals) that makes every
+// policy hold while maximally satisfying the objectives.
+//
+// The §8 optimizations:
+//   1. pruning irrelevant configuration   — SketchOptions::pruneIrrelevant
+//   2. per-destination decomposition      — AedOptions::perDestination,
+//      one MaxSMT problem per destination prefix, solved on a thread pool
+//      (one Z3 context per task)
+//   3. boolean metric encoding            — EncoderOptions::booleanLp
+//
+// Every candidate patch is validated against the concrete control-plane
+// simulator; if validation fails (the SMT model admits stable states the
+// iterative simulator does not converge to, e.g. mutual redistribution
+// cycles), the offending delta combination is blocked and the affected
+// subproblem re-solved, up to maxRepairIterations times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conftree/patch.hpp"
+#include "conftree/tree.hpp"
+#include "encode/encoder.hpp"
+#include "objectives/objective.hpp"
+#include "policy/policy.hpp"
+#include "sketch/sketch.hpp"
+
+namespace aed {
+
+struct AedOptions {
+  SketchOptions sketch;
+  EncoderOptions encoder;
+
+  /// §8 optimization 2: decompose into one MaxSMT problem per destination
+  /// prefix and solve them in parallel.
+  bool perDestination = true;
+  /// Worker threads for the parallel decomposition (0 = hardware).
+  std::size_t workers = 0;
+
+  /// User objectives are scaled by this factor so they dominate the default
+  /// per-delta minimality pressure. Matches the paper's "equal weight by
+  /// default" within the user's objectives.
+  unsigned objectiveWeightScale = 1000;
+  /// Unit-weight soft constraints preferring every delta inactive (doubles
+  /// as the min-lines objective; keeps patches free of gratuitous edits).
+  bool defaultMinimality = true;
+  unsigned minimalityWeight = 1;
+
+  /// Validate candidate patches with the simulator and re-solve with the
+  /// failing delta set blocked, up to this many rounds per subproblem.
+  bool validateWithSimulator = true;
+  int maxRepairIterations = 3;
+
+  /// Non-zero: randomize the solver's decision phase with this seed. Used
+  /// only by the NetComplete-like clean-slate baseline (see
+  /// baselines/netcomplete.hpp); AED itself keeps Z3's defaults.
+  unsigned randomPhaseSeed = 0;
+};
+
+struct AedStats {
+  double totalSeconds = 0.0;
+  double maxSubproblemSeconds = 0.0;  // critical path under parallelism
+  double sumSubproblemSeconds = 0.0;  // total solver work (sequential cost)
+  std::size_t subproblems = 0;
+  std::size_t deltaCount = 0;
+  std::size_t repairRounds = 0;
+};
+
+struct AedResult {
+  bool success = false;
+  std::string error;  // set when !success
+
+  Patch patch;
+  ConfigTree updated;  // tree after applying the patch
+
+  /// Desugared objective labels, aggregated across subproblems: an
+  /// objective counts as satisfied only if no subproblem violated it.
+  std::vector<std::string> satisfiedObjectives;
+  std::vector<std::string> violatedObjectives;
+
+  AedStats stats;
+};
+
+/// Runs AED. `policies` is the complete post-update policy set.
+AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
+                     const std::vector<Objective>& objectives = {},
+                     const AedOptions& options = {});
+
+/// Merges per-destination patches: deduplicates identical edits (shared
+/// scaffolding such as a newly created filter) and renumbers colliding
+/// rule sequence numbers. Exposed for tests.
+Patch mergePatches(const std::vector<Patch>& patches);
+
+}  // namespace aed

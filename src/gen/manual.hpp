@@ -1,0 +1,29 @@
+// Manual-update emulator.
+//
+// The paper compares AED against the actual, largely manual updates the
+// datacenter operators deployed (Figure 9). Those snapshots are not
+// available, so this emulator reproduces how operators describe working
+// (§3.1): template-driven edits — when a filter must change, the same change
+// is applied to every clone of that filter across the role (keeping
+// configurations similar), and missing routes are patched with static
+// routes along the physical path. The result is *correct* (validated by the
+// simulator) but touches more devices and lines than a targeted update.
+#pragma once
+
+#include "conftree/tree.hpp"
+#include "policy/policy.hpp"
+
+namespace aed {
+
+struct ManualUpdateResult {
+  bool success = false;
+  ConfigTree updated;
+  std::string error;
+};
+
+/// Applies operator-style edits until every policy in `policies` holds (or
+/// gives up after a bounded number of rounds).
+ManualUpdateResult manualUpdate(const ConfigTree& tree,
+                                const PolicySet& policies);
+
+}  // namespace aed

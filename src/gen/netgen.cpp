@@ -1,0 +1,302 @@
+#include "gen/netgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aed {
+
+namespace {
+
+/// Allocates consecutive /30 point-to-point link subnets out of 10.0.0.0/8
+/// and /24 host subnets out of 20.0.0.0/8.
+class AddressPool {
+ public:
+  Ipv4Prefix nextLink() {
+    const std::uint32_t base = 0x0A000000u + 4 * linkCount_++;
+    return Ipv4Prefix(Ipv4Address(base), 30);
+  }
+  Ipv4Prefix hostSubnet(int index) {
+    const std::uint32_t base =
+        0x14000000u + (static_cast<std::uint32_t>(index) << 8);
+    return Ipv4Prefix(Ipv4Address(base), 24);
+  }
+
+ private:
+  std::uint32_t linkCount_ = 0;
+};
+
+Node& addBgpRouter(ConfigTree& tree, const std::string& name,
+                   const std::string& role, int asn) {
+  Node& router = tree.addRouter(name, role);
+  Node& proc = router.addChild(NodeKind::kRoutingProcess);
+  proc.setAttr("type", "bgp");
+  proc.setAttr("name", std::to_string(asn));
+  return router;
+}
+
+Node* bgpProc(Node& router) {
+  for (Node* proc : router.childrenOfKind(NodeKind::kRoutingProcess)) {
+    if (proc->attr("type") == "bgp") return proc;
+  }
+  return nullptr;
+}
+
+void addHostSubnet(Node& router, const Ipv4Prefix& subnet) {
+  Node& iface = router.addChild(NodeKind::kInterface);
+  iface.setAttr("name", "hosts");
+  iface.setAttr("address",
+                subnet.nth(1).str() + "/" + std::to_string(subnet.length()));
+  Node* proc = bgpProc(router);
+  require(proc != nullptr, "host subnet on router without BGP");
+  Node& orig = proc->addChild(NodeKind::kOrigination);
+  orig.setAttr("prefix", subnet.str());
+}
+
+/// Connects two routers with a /30 link and configures the BGP adjacency on
+/// both ends. Returns the interface names created (a-side, b-side).
+std::pair<std::string, std::string> connect(Node& a, Node& b,
+                                            const Ipv4Prefix& link) {
+  const std::string addrA =
+      link.nth(1).str() + "/" + std::to_string(link.length());
+  const std::string addrB =
+      link.nth(2).str() + "/" + std::to_string(link.length());
+  const std::string ifaceA = "to_" + b.name();
+  const std::string ifaceB = "to_" + a.name();
+
+  Node& ia = a.addChild(NodeKind::kInterface);
+  ia.setAttr("name", ifaceA);
+  ia.setAttr("address", addrA);
+  Node& ib = b.addChild(NodeKind::kInterface);
+  ib.setAttr("name", ifaceB);
+  ib.setAttr("address", addrB);
+
+  Node* procA = bgpProc(a);
+  Node* procB = bgpProc(b);
+  require(procA != nullptr && procB != nullptr, "connect without BGP");
+  Node& adjA = procA->addChild(NodeKind::kAdjacency);
+  adjA.setAttr("peer", b.name());
+  adjA.setAttr("peerIp", link.nth(2).str());
+  Node& adjB = procB->addChild(NodeKind::kAdjacency);
+  adjB.setAttr("peer", a.name());
+  adjB.setAttr("peerIp", link.nth(1).str());
+  return {ifaceA, ifaceB};
+}
+
+/// Adds a packet filter with the given deny rules (src -> dst pairs) and a
+/// trailing permit-any, and binds it pfilterIn on the listed interfaces.
+void addIngressFilter(Node& router, const std::string& name,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          denyPairs,
+                      const std::vector<std::string>& ifaceNames) {
+  Node& filter = router.addChild(NodeKind::kPacketFilter);
+  filter.setAttr("name", name);
+  int seq = 100;
+  for (const auto& [src, dst] : denyPairs) {
+    Node& rule = filter.addChild(NodeKind::kPacketFilterRule);
+    rule.setAttr("seq", std::to_string(seq));
+    rule.setAttr("action", "deny");
+    rule.setAttr("srcPrefix", src);
+    rule.setAttr("dstPrefix", dst);
+    seq += 10;
+  }
+  Node& tail = filter.addChild(NodeKind::kPacketFilterRule);
+  tail.setAttr("seq", std::to_string(seq));
+  tail.setAttr("action", "permit");
+  tail.setAttr("srcPrefix", "0.0.0.0/0");
+  tail.setAttr("dstPrefix", "0.0.0.0/0");
+
+  for (const std::string& ifaceName : ifaceNames) {
+    Node* iface = router.findChild(NodeKind::kInterface, ifaceName);
+    require(iface != nullptr, "binding filter to unknown interface");
+    iface->setAttr("pfilterIn", name);
+  }
+}
+
+}  // namespace
+
+GeneratedNetwork generateDatacenter(const DcParams& params) {
+  require(params.racks >= 1, "datacenter needs at least one rack");
+  GeneratedNetwork net;
+  AddressPool pool;
+  Rng rng(params.seed);
+
+  std::vector<Node*> racks, aggs, spines;
+  int asn = 65000;
+  for (int i = 0; i < params.racks; ++i) {
+    Node& r = addBgpRouter(net.tree, "rack" + std::to_string(i), "rack",
+                           asn++);
+    racks.push_back(&r);
+    net.roles[r.name()] = "rack";
+  }
+  for (int i = 0; i < params.aggs; ++i) {
+    Node& r = addBgpRouter(net.tree, "agg" + std::to_string(i), "agg", asn++);
+    aggs.push_back(&r);
+    net.roles[r.name()] = "agg";
+  }
+  for (int i = 0; i < params.spines; ++i) {
+    Node& r = addBgpRouter(net.tree, "spine" + std::to_string(i), "spine",
+                           asn++);
+    spines.push_back(&r);
+    net.roles[r.name()] = "spine";
+  }
+
+  // Host subnets on racks (and directly on aggs when there are no racks
+  // below them — degenerate tiny networks).
+  std::vector<Ipv4Prefix> subnets;
+  int subnetIndex = 0;
+  for (Node* rack : racks) {
+    const Ipv4Prefix subnet = pool.hostSubnet(subnetIndex++);
+    addHostSubnet(*rack, subnet);
+    net.hostSubnets[rack->name()] = subnet;
+    subnets.push_back(subnet);
+  }
+
+  // Fabric links: every rack to every agg, every agg to every spine. With no
+  // aggs, racks pair directly (2-router networks).
+  std::map<std::string, std::vector<std::string>> uplinks;
+  if (aggs.empty()) {
+    for (std::size_t i = 0; i + 1 < racks.size(); i += 2) {
+      const auto [ia, ib] =
+          connect(*racks[i], *racks[i + 1], pool.nextLink());
+      uplinks[racks[i]->name()].push_back(ia);
+      uplinks[racks[i + 1]->name()].push_back(ib);
+    }
+  }
+  for (Node* rack : racks) {
+    for (Node* agg : aggs) {
+      const auto [ia, ib] = connect(*rack, *agg, pool.nextLink());
+      uplinks[rack->name()].push_back(ia);
+      (void)ib;
+    }
+  }
+  for (Node* agg : aggs) {
+    for (Node* spine : spines) {
+      connect(*agg, *spine, pool.nextLink());
+    }
+  }
+
+  // Role-templated rack ingress filter: a network-wide set of "quarantined"
+  // source subnets is denied on every rack's uplinks — identical content on
+  // every rack, i.e. one configuration template (§3.1 "filters are often
+  // copied verbatim across devices with the same role").
+  std::vector<std::pair<std::string, std::string>> denyPairs;
+  for (const Ipv4Prefix& subnet : subnets) {
+    if (rng.chance(params.blockedPairFraction)) {
+      denyPairs.emplace_back(subnet.str(), "0.0.0.0/0");
+    }
+  }
+  // Bogon noise rules: prefixes outside the fabric address space, so they
+  // never intersect policy traffic.
+  for (int i = 0; i < params.noiseRules; ++i) {
+    const std::string bogon =
+        "30." + std::to_string(rng.below(200)) + "." +
+        std::to_string(rng.below(200)) + ".0/24";
+    denyPairs.emplace_back(bogon, bogon);
+  }
+  for (Node* rack : racks) {
+    addIngressFilter(*rack, "pf_rack", denyPairs, uplinks[rack->name()]);
+  }
+
+  // Aggregation-role route-filter template on spine-facing imports.
+  for (Node* agg : aggs) {
+    Node* proc = bgpProc(*agg);
+    Node& filter = proc->addChild(NodeKind::kRouteFilter);
+    filter.setAttr("name", "rf_agg");
+    Node& rule = filter.addChild(NodeKind::kRouteFilterRule);
+    rule.setAttr("seq", "100");
+    rule.setAttr("action", "permit");
+    rule.setAttr("prefix", "0.0.0.0/0");
+    for (Node* adj : proc->childrenOfKind(NodeKind::kAdjacency)) {
+      if (net.roles[adj->attr("peer")] == "spine") {
+        adj->setAttr("filterIn", "rf_agg");
+      }
+    }
+  }
+  return net;
+}
+
+GeneratedNetwork generateZoo(const ZooParams& params) {
+  require(params.routers >= 2, "zoo topology needs at least two routers");
+  GeneratedNetwork net;
+  AddressPool pool;
+  Rng rng(params.seed);
+  const int n = params.routers;
+
+  // Waxman node placement.
+  std::vector<std::pair<double, double>> position;
+  position.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    position.emplace_back(rng.real(), rng.real());
+  }
+
+  std::vector<Node*> routers;
+  for (int i = 0; i < n; ++i) {
+    Node& r = addBgpRouter(net.tree, "r" + std::to_string(i), "core",
+                           65000 + i);
+    routers.push_back(&r);
+    net.roles[r.name()] = "core";
+  }
+
+  // Links: random spanning tree for connectivity, then Waxman extras.
+  std::set<std::pair<int, int>> links;
+  std::map<int, std::vector<std::string>> ifacesOf;
+  const auto addLink = [&](int i, int j) {
+    if (i > j) std::swap(i, j);
+    if (!links.insert({i, j}).second) return;
+    const auto [ia, ib] = connect(*routers[static_cast<std::size_t>(i)],
+                                  *routers[static_cast<std::size_t>(j)],
+                                  pool.nextLink());
+    ifacesOf[i].push_back(ia);
+    ifacesOf[j].push_back(ib);
+  };
+  for (int i = 1; i < n; ++i) {
+    addLink(i, static_cast<int>(rng.below(static_cast<std::uint64_t>(i))));
+  }
+  const double maxDist = std::sqrt(2.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dx = position[static_cast<std::size_t>(i)].first -
+                        position[static_cast<std::size_t>(j)].first;
+      const double dy = position[static_cast<std::size_t>(i)].second -
+                        position[static_cast<std::size_t>(j)].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.chance(params.alpha *
+                     std::exp(-dist / (params.beta * maxDist)))) {
+        addLink(i, j);
+      }
+    }
+  }
+
+  // One host subnet per router.
+  std::vector<Ipv4Prefix> subnets;
+  for (int i = 0; i < n; ++i) {
+    const Ipv4Prefix subnet = pool.hostSubnet(i);
+    addHostSubnet(*routers[static_cast<std::size_t>(i)], subnet);
+    net.hostSubnets[routers[static_cast<std::size_t>(i)]->name()] = subnet;
+    subnets.push_back(subnet);
+  }
+
+  // Per-destination ingress filters: router i denies a random set of source
+  // subnets destined to its own subnet (repairing these is the update task).
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<std::string, std::string>> denyPairs;
+    for (int s = 0; s < n; ++s) {
+      if (s == i) continue;
+      if (rng.chance(params.blockedPairFraction)) {
+        denyPairs.emplace_back(subnets[static_cast<std::size_t>(s)].str(),
+                               subnets[static_cast<std::size_t>(i)].str());
+      }
+    }
+    if (denyPairs.empty()) continue;
+    addIngressFilter(*routers[static_cast<std::size_t>(i)],
+                     "pf_r" + std::to_string(i), denyPairs,
+                     ifacesOf[i]);
+  }
+  return net;
+}
+
+}  // namespace aed

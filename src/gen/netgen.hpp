@@ -1,0 +1,72 @@
+// Synthetic network generators.
+//
+// The paper evaluates on (a) 24 real datacenter networks (2-24 routers,
+// role-templated configurations) and (b) synthetic BGP configurations for
+// Internet Topology Zoo topologies (30-160 routers). Both datasets are
+// proprietary/unavailable, so these generators reproduce their statistical
+// shape: leaf-spine fabrics with per-role filter templates, and Waxman-style
+// random graphs with one host subnet per router. All generation is
+// deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "conftree/tree.hpp"
+#include "policy/policy.hpp"
+#include "util/ipv4.hpp"
+
+namespace aed {
+
+struct GeneratedNetwork {
+  ConfigTree tree;
+  /// Host subnet of each subnet-owning router, keyed by router name.
+  std::map<std::string, Ipv4Prefix> hostSubnets;
+  /// Router role by name ("rack", "agg", "spine" for DC; "core" for zoo).
+  std::map<std::string, std::string> roles;
+};
+
+struct DcParams {
+  int racks = 4;
+  int aggs = 2;
+  int spines = 2;
+  /// Fraction of (src subnet, dst rack) pairs blocked by the rack's ingress
+  /// packet filter template — these become blocking policies in the
+  /// "before" snapshot, and un-blocking selected pairs is the update task.
+  double blockedPairFraction = 0.25;
+  /// Extra deny rules in the rack filter template matching "bogon" prefixes
+  /// outside the fabric's address space. Real configurations carry many
+  /// such rules that are irrelevant to any given policy — exactly what the
+  /// §8 pruning optimization removes from the encoding.
+  int noiseRules = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Leaf-spine datacenter fabric: every rack connects to every aggregation
+/// router, every aggregation router to every spine. BGP everywhere (one AS
+/// per router, datacenter-style), racks originate their host subnets.
+/// Racks share a role-wide packet-filter template (cloned verbatim, as the
+/// paper's §3.1 reports operators do); aggregation routers share a route
+/// filter template.
+GeneratedNetwork generateDatacenter(const DcParams& params);
+
+struct ZooParams {
+  int routers = 30;
+  /// Waxman model parameters (alpha scales link probability, beta the
+  /// distance decay); a random spanning tree guarantees connectivity.
+  double alpha = 0.25;
+  double beta = 0.35;
+  /// Every router owns a host subnet; this fraction of ordered subnet pairs
+  /// is blocked by ingress filters at the destination router.
+  double blockedPairFraction = 0.15;
+  std::uint64_t seed = 1;
+};
+
+/// Waxman-style wide-area topology with one BGP process and one host subnet
+/// per router — the shape of the paper's NetComplete-generated Topology Zoo
+/// configurations.
+GeneratedNetwork generateZoo(const ZooParams& params);
+
+}  // namespace aed

@@ -1,0 +1,139 @@
+#include "gen/policygen.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "simulate/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aed {
+
+namespace {
+
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[rng.index(i)]);
+  }
+}
+
+/// Shortest path between routers in the physical topology, optionally
+/// avoiding one undirected link. Empty if disconnected.
+std::vector<std::string> shortestPath(
+    const Topology& topo, const std::string& from, const std::string& to,
+    const std::pair<std::string, std::string>* avoidLink) {
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const std::string current = queue.front();
+    queue.pop_front();
+    if (current == to) break;
+    for (const std::string& next : topo.neighbors(current)) {
+      if (avoidLink != nullptr &&
+          ((current == avoidLink->first && next == avoidLink->second) ||
+           (current == avoidLink->second && next == avoidLink->first))) {
+        continue;
+      }
+      if (parent.emplace(next, current).second) queue.push_back(next);
+    }
+  }
+  if (parent.count(to) == 0) return {};
+  std::vector<std::string> path{to};
+  while (path.back() != from) path.push_back(parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+PolicyUpdate makeReachabilityUpdate(const ConfigTree& tree, int addCount,
+                                    std::uint64_t seed, int baseLimit) {
+  Simulator sim(tree);
+  Rng rng(seed);
+  PolicySet inferred = sim.inferReachabilityPolicies();
+
+  std::vector<std::size_t> blockedIdx;
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    if (inferred[i].kind == PolicyKind::kBlocking) blockedIdx.push_back(i);
+  }
+  shuffle(blockedIdx, rng);
+  std::set<std::size_t> flipped(
+      blockedIdx.begin(),
+      blockedIdx.begin() +
+          std::min<std::size_t>(static_cast<std::size_t>(std::max(0, addCount)),
+                                blockedIdx.size()));
+
+  PolicyUpdate update;
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    if (flipped.count(i) != 0) {
+      update.added.push_back(Policy::reachability(inferred[i].cls));
+    } else {
+      update.base.push_back(inferred[i]);
+    }
+  }
+  if (baseLimit >= 0 &&
+      update.base.size() > static_cast<std::size_t>(baseLimit)) {
+    shuffle(update.base, rng);
+    update.base.resize(static_cast<std::size_t>(baseLimit));
+  }
+  return update;
+}
+
+PolicySet makeWaypointPolicies(const ConfigTree& tree, int count,
+                               std::uint64_t seed) {
+  Simulator sim(tree);
+  Rng rng(seed);
+  PolicySet inferred = sim.inferReachabilityPolicies();
+  std::vector<Policy> reachable;
+  for (const Policy& policy : inferred) {
+    if (policy.kind == PolicyKind::kReachability) reachable.push_back(policy);
+  }
+  shuffle(reachable, rng);
+
+  PolicySet out;
+  for (const Policy& policy : reachable) {
+    if (static_cast<int>(out.size()) >= count) break;
+    const auto sources = sim.sourceRouters(policy.cls);
+    if (sources.empty()) continue;
+    const ForwardResult fwd = sim.forward(policy.cls, sources.front());
+    if (!fwd.delivered || fwd.path.size() < 3) continue;
+    // A mid-path router as the waypoint.
+    const std::string waypoint = fwd.path[1 + rng.index(fwd.path.size() - 2)];
+    out.push_back(Policy::waypoint(policy.cls, {waypoint}));
+  }
+  return out;
+}
+
+PolicySet makePathPreferencePolicies(const ConfigTree& tree, int count,
+                                     std::uint64_t seed) {
+  Simulator sim(tree);
+  Rng rng(seed);
+  PolicySet inferred = sim.inferReachabilityPolicies();
+  std::vector<Policy> reachable;
+  for (const Policy& policy : inferred) {
+    if (policy.kind == PolicyKind::kReachability) reachable.push_back(policy);
+  }
+  shuffle(reachable, rng);
+
+  PolicySet out;
+  for (const Policy& policy : reachable) {
+    if (static_cast<int>(out.size()) >= count) break;
+    const auto sources = sim.sourceRouters(policy.cls);
+    if (sources.empty()) continue;
+    const ForwardResult fwd = sim.forward(policy.cls, sources.front());
+    if (!fwd.delivered || fwd.path.size() < 2) continue;
+    const std::pair<std::string, std::string> firstLink{fwd.path[0],
+                                                        fwd.path[1]};
+    const auto alternate = shortestPath(sim.topology(), fwd.path.front(),
+                                        fwd.path.back(), &firstLink);
+    if (alternate.size() < 2) continue;
+    out.push_back(
+        Policy::pathPreference(policy.cls, fwd.path, alternate));
+  }
+  return out;
+}
+
+}  // namespace aed

@@ -1,0 +1,41 @@
+// Policy-set generators for the evaluation harness.
+//
+// The paper's update experiments start from a network's inferred policy set
+// ("base policies") and add new policies ("added policies") the current
+// configuration violates; AED must implement the additions without
+// regressing the base. These helpers build such (base, added) splits
+// deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "conftree/tree.hpp"
+#include "policy/policy.hpp"
+
+namespace aed {
+
+struct PolicyUpdate {
+  PolicySet base;   // hold in the current configuration
+  PolicySet added;  // violated now; the update must implement them
+};
+
+/// Infers the network's reachability/blocking matrix, then flips `addCount`
+/// blocked pairs into reachability policies (the additions). The remaining
+/// inferred policies form the base; if `baseLimit` >= 0 the base is
+/// subsampled to that size (the Fig. 12 experiment varies it).
+PolicyUpdate makeReachabilityUpdate(const ConfigTree& tree, int addCount,
+                                    std::uint64_t seed, int baseLimit = -1);
+
+/// Waypoint policies for currently-reachable pairs: the waypoint is drawn
+/// from the pair's current forwarding path, so the policy set stays
+/// satisfiable while still requiring full verification work.
+PolicySet makeWaypointPolicies(const ConfigTree& tree, int count,
+                               std::uint64_t seed);
+
+/// Path-preference policies: the primary path is the pair's current
+/// forwarding path; the alternate is the shortest topology path that avoids
+/// the primary's first link.
+PolicySet makePathPreferencePolicies(const ConfigTree& tree, int count,
+                                     std::uint64_t seed);
+
+}  // namespace aed

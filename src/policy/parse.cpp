@@ -1,0 +1,100 @@
+#include "policy/parse.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aed {
+
+namespace {
+
+Ipv4Prefix parsePrefixToken(std::string_view token,
+                            const std::string& context) {
+  const auto prefix = Ipv4Prefix::parse(token);
+  require(prefix.has_value(),
+          "bad prefix '" + std::string(token) + "' in policy: " + context);
+  return *prefix;
+}
+
+std::vector<std::string> parseRouterList(std::string_view token) {
+  std::vector<std::string> routers;
+  for (std::string_view part : splitChar(token, ',')) {
+    part = trim(part);
+    if (!part.empty()) routers.emplace_back(part);
+  }
+  return routers;
+}
+
+// Parses "<src> -> <dst>" starting at tokens[i]; advances i past it.
+TrafficClass parseClass(const std::vector<std::string_view>& tokens,
+                        std::size_t& i, const std::string& context) {
+  require(i + 2 < tokens.size() && tokens[i + 1] == "->",
+          "expected '<src> -> <dst>' in policy: " + context);
+  TrafficClass cls{parsePrefixToken(tokens[i], context),
+                   parsePrefixToken(tokens[i + 2], context)};
+  i += 3;
+  return cls;
+}
+
+}  // namespace
+
+Policy parsePolicy(std::string_view line) {
+  const std::string context(trim(line));
+  const auto tokens = splitWhitespace(line);
+  require(tokens.size() >= 4, "policy line too short: " + context);
+
+  std::string kind(tokens[0]);
+  for (char& c : kind) c = static_cast<char>(std::tolower(c));
+  std::size_t i = 1;
+  const TrafficClass cls = parseClass(tokens, i, context);
+
+  if (kind == "reachability") {
+    require(i == tokens.size(), "trailing tokens in policy: " + context);
+    return Policy::reachability(cls);
+  }
+  if (kind == "blocking") {
+    require(i == tokens.size(), "trailing tokens in policy: " + context);
+    return Policy::blocking(cls);
+  }
+  if (kind == "waypoint") {
+    require(i + 1 < tokens.size() && tokens[i] == "via",
+            "waypoint needs 'via R1[,R2...]': " + context);
+    const auto waypoints = parseRouterList(tokens[i + 1]);
+    require(!waypoints.empty(), "empty waypoint list: " + context);
+    require(i + 2 == tokens.size(), "trailing tokens in policy: " + context);
+    return Policy::waypoint(cls, waypoints);
+  }
+  if (kind == "path-preference") {
+    require(i + 3 < tokens.size() && tokens[i] == "prefer" &&
+                tokens[i + 2] == "over",
+            "path-preference needs 'prefer P1,P2 over Q1,Q2': " + context);
+    const auto primary = parseRouterList(tokens[i + 1]);
+    const auto alternate = parseRouterList(tokens[i + 3]);
+    require(primary.size() >= 2 && alternate.size() >= 2,
+            "paths need at least two routers: " + context);
+    require(i + 4 == tokens.size(), "trailing tokens in policy: " + context);
+    return Policy::pathPreference(cls, primary, alternate);
+  }
+  if (kind == "isolation") {
+    require(i < tokens.size() && tokens[i] == "from",
+            "isolation needs 'from <src> -> <dst>': " + context);
+    ++i;
+    const TrafficClass other = parseClass(tokens, i, context);
+    require(i == tokens.size(), "trailing tokens in policy: " + context);
+    return Policy::isolation(cls, other);
+  }
+  throw AedError("unknown policy kind '" + kind + "' in: " + context);
+}
+
+PolicySet parsePolicies(std::string_view text) {
+  PolicySet policies;
+  for (std::string_view line : splitChar(text, '\n')) {
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    policies.push_back(parsePolicy(line));
+  }
+  return policies;
+}
+
+}  // namespace aed

@@ -1,0 +1,25 @@
+// Text format for forwarding policies.
+//
+// One policy per line; '#' starts a comment. The grammar mirrors how the
+// paper states policies (§2, §6.2):
+//
+//   reachability    <srcPrefix> -> <dstPrefix>
+//   blocking        <srcPrefix> -> <dstPrefix>
+//   waypoint        <srcPrefix> -> <dstPrefix> via R1[,R2,...]
+//   path-preference <srcPrefix> -> <dstPrefix> prefer R1,R2,.. over S1,S2,..
+//   isolation       <srcPrefix> -> <dstPrefix> from <srcPrefix> -> <dstPrefix>
+#pragma once
+
+#include <string_view>
+
+#include "policy/policy.hpp"
+
+namespace aed {
+
+/// Parses a single policy line; throws AedError with a diagnostic on error.
+Policy parsePolicy(std::string_view line);
+
+/// Parses a newline-separated list (blank lines and # comments skipped).
+PolicySet parsePolicies(std::string_view text);
+
+}  // namespace aed

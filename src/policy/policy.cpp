@@ -1,0 +1,106 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace aed {
+
+std::string policyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kReachability: return "reachability";
+    case PolicyKind::kBlocking: return "blocking";
+    case PolicyKind::kWaypoint: return "waypoint";
+    case PolicyKind::kPathPreference: return "path-preference";
+    case PolicyKind::kIsolation: return "isolation";
+  }
+  return "?";
+}
+
+std::string Policy::str() const {
+  std::string out = policyKindName(kind) + "(" + cls.str();
+  if (kind == PolicyKind::kWaypoint) {
+    out += " via " + join(waypoints, ",");
+  } else if (kind == PolicyKind::kPathPreference) {
+    out += " prefer " + join(primaryPath, "-") + " over " +
+           join(alternatePath, "-");
+  } else if (kind == PolicyKind::kIsolation) {
+    out += " isolated-from " + otherCls.str();
+  }
+  return out + ")";
+}
+
+Policy Policy::reachability(TrafficClass cls) {
+  Policy p;
+  p.kind = PolicyKind::kReachability;
+  p.cls = cls;
+  return p;
+}
+
+Policy Policy::blocking(TrafficClass cls) {
+  Policy p;
+  p.kind = PolicyKind::kBlocking;
+  p.cls = cls;
+  return p;
+}
+
+Policy Policy::waypoint(TrafficClass cls, std::vector<std::string> via) {
+  Policy p;
+  p.kind = PolicyKind::kWaypoint;
+  p.cls = cls;
+  p.waypoints = std::move(via);
+  return p;
+}
+
+Policy Policy::pathPreference(TrafficClass cls,
+                              std::vector<std::string> primary,
+                              std::vector<std::string> alternate) {
+  Policy p;
+  p.kind = PolicyKind::kPathPreference;
+  p.cls = cls;
+  p.primaryPath = std::move(primary);
+  p.alternatePath = std::move(alternate);
+  return p;
+}
+
+Policy Policy::isolation(TrafficClass cls, TrafficClass other) {
+  Policy p;
+  p.kind = PolicyKind::kIsolation;
+  p.cls = cls;
+  p.otherCls = other;
+  return p;
+}
+
+std::map<Ipv4Prefix, PolicySet> groupByDestination(const PolicySet& policies) {
+  std::map<Ipv4Prefix, PolicySet> groups;
+  for (const Policy& policy : policies) {
+    groups[policy.cls.dst].push_back(policy);
+  }
+  return groups;
+}
+
+std::vector<TrafficClass> trafficClasses(const PolicySet& policies) {
+  std::vector<TrafficClass> classes;
+  for (const Policy& policy : policies) {
+    classes.push_back(policy.cls);
+    if (policy.kind == PolicyKind::kIsolation) {
+      classes.push_back(policy.otherCls);
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+std::vector<Ipv4Prefix> destinationPrefixes(const PolicySet& policies) {
+  std::vector<Ipv4Prefix> prefixes;
+  for (const TrafficClass& cls : trafficClasses(policies)) {
+    prefixes.push_back(cls.dst);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  return prefixes;
+}
+
+}  // namespace aed

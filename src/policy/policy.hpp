@@ -1,0 +1,79 @@
+// Forwarding policies (§2, §6.2).
+//
+// A policy constrains how traffic of one class (source prefix, destination
+// prefix) is forwarded: whether it reaches (Reachability), is blocked
+// (Blocking), must traverse given waypoints (Waypoint), must prefer one path
+// and fall back to another under failure (PathPreference), or must never
+// share a directed link with another class (Isolation).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/ipv4.hpp"
+
+namespace aed {
+
+struct TrafficClass {
+  Ipv4Prefix src;
+  Ipv4Prefix dst;
+
+  friend auto operator<=>(const TrafficClass&, const TrafficClass&) = default;
+  std::string str() const { return src.str() + " -> " + dst.str(); }
+};
+
+enum class PolicyKind {
+  kReachability,    // class must reach its destination
+  kBlocking,        // class must NOT reach its destination
+  kWaypoint,        // class must traverse all listed waypoint routers
+  kPathPreference,  // primary path when healthy; alternate under failure
+  kIsolation        // class must share no directed link with otherClass
+};
+
+std::string policyKindName(PolicyKind kind);
+
+struct Policy {
+  PolicyKind kind = PolicyKind::kReachability;
+  TrafficClass cls;
+
+  /// kWaypoint: routers the forwarding path must include (in any order).
+  std::vector<std::string> waypoints;
+
+  /// kPathPreference: router sequences from source gateway to destination
+  /// router. `primaryPath` must carry the traffic when all links are up;
+  /// `alternatePath` must carry it when the first link of the primary path
+  /// is down.
+  std::vector<std::string> primaryPath;
+  std::vector<std::string> alternatePath;
+
+  /// kIsolation: the other traffic class (same destination class required by
+  /// the per-destination decomposition; see §8).
+  TrafficClass otherCls;
+
+  std::string str() const;
+
+  static Policy reachability(TrafficClass cls);
+  static Policy blocking(TrafficClass cls);
+  static Policy waypoint(TrafficClass cls, std::vector<std::string> via);
+  static Policy pathPreference(TrafficClass cls,
+                               std::vector<std::string> primary,
+                               std::vector<std::string> alternate);
+  static Policy isolation(TrafficClass cls, TrafficClass other);
+};
+
+using PolicySet = std::vector<Policy>;
+
+/// Groups policies by destination prefix — the unit of the paper's
+/// per-destination decomposition (§8): "we formulate multiple MaxSMT
+/// problems, one per destination".
+std::map<Ipv4Prefix, PolicySet> groupByDestination(const PolicySet& policies);
+
+/// All distinct traffic classes referenced by the policies (including
+/// isolation partners).
+std::vector<TrafficClass> trafficClasses(const PolicySet& policies);
+
+/// All distinct destination prefixes.
+std::vector<Ipv4Prefix> destinationPrefixes(const PolicySet& policies);
+
+}  // namespace aed

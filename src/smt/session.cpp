@@ -1,0 +1,145 @@
+#include "smt/session.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace aed {
+
+z3::expr SmtSession::boolVar(const std::string& name) {
+  const auto it = vars_.find(name);
+  if (it != vars_.end()) return it->second;
+  z3::expr var = ctx_.bool_const(name.c_str());
+  vars_.emplace(name, var);
+  return var;
+}
+
+z3::expr SmtSession::intVar(const std::string& name) {
+  const auto it = vars_.find(name);
+  if (it != vars_.end()) return it->second;
+  z3::expr var = ctx_.int_const(name.c_str());
+  vars_.emplace(name, var);
+  return var;
+}
+
+bool SmtSession::hasVar(const std::string& name) const {
+  return vars_.count(name) != 0;
+}
+
+z3::expr SmtSession::var(const std::string& name) const {
+  const auto it = vars_.find(name);
+  require(it != vars_.end(), "unknown SMT variable: " + name);
+  return it->second;
+}
+
+z3::expr SmtSession::freshBool(const std::string& stem) {
+  return boolVar(stem + "!" + std::to_string(freshCounter_++));
+}
+
+z3::expr SmtSession::freshInt(const std::string& stem) {
+  return intVar(stem + "!" + std::to_string(freshCounter_++));
+}
+
+std::size_t SmtSession::addSoft(const z3::expr& constraint, unsigned weight,
+                                const std::string& label) {
+  opt_.add_soft(constraint, weight);
+  softExprs_.push_back(constraint);
+  softInfos_.push_back(SoftInfo{label, weight});
+  return softInfos_.size() - 1;
+}
+
+void SmtSession::randomizePhase(unsigned seed) {
+  try {
+    z3::params params(ctx_);
+    params.set("smt.phase_selection", 5u);  // random phase
+    params.set("smt.random_seed", seed);
+    params.set("sat.phase", ctx_.str_symbol("random"));
+    params.set("sat.random_seed", seed);
+    opt_.set(params);
+  } catch (const z3::exception&) {
+    // Parameter names vary across Z3 versions; best effort only.
+  }
+}
+
+SmtSession::Result SmtSession::check() {
+  Result result;
+  z3::check_result status = opt_.check();
+
+  // Z3 4.8.x's default MaxSAT engine (maxres) can report bogus UNSAT on
+  // hard constraints that mix booleans with integer arithmetic (observed on
+  // this code base's routing encodings; a plain solver accepts the same
+  // assertions). Defend against it: cross-check any UNSAT with a plain
+  // solver over the hard assertions; on divergence retry with the wmax
+  // engine, and as a last resort accept the plain solver's model (hard
+  // constraints satisfied, soft constraints unoptimized).
+  if (status == z3::unsat) {
+    z3::solver plain(ctx_);
+    for (const z3::expr& assertion : opt_.assertions()) plain.add(assertion);
+    if (plain.check() == z3::sat) {
+      logWarn() << "optimize reported unsat but the hard constraints are "
+                   "satisfiable; retrying with the wmax engine";
+      try {
+        z3::params params(ctx_);
+        params.set("maxsat_engine", ctx_.str_symbol("wmax"));
+        opt_.set(params);
+        status = opt_.check();
+      } catch (const z3::exception&) {
+        status = z3::unknown;
+      }
+      if (status != z3::sat) {
+        logWarn() << "wmax retry failed too; using the unoptimized model";
+        model_ = plain.get_model();
+        result.sat = true;
+        result.status = "sat";
+        for (std::size_t i = 0; i < softExprs_.size(); ++i) {
+          if (model_->eval(softExprs_[i], true).is_true()) {
+            result.satisfiedObjectives.push_back(softInfos_[i].label);
+          } else {
+            result.violatedObjectives.push_back(softInfos_[i].label);
+          }
+        }
+        return result;
+      }
+    }
+  }
+
+  result.sat = status == z3::sat;
+  result.status = status == z3::sat     ? "sat"
+                  : status == z3::unsat ? "unsat"
+                                        : "unknown";
+  if (!result.sat) return result;
+  model_ = opt_.get_model();
+  for (std::size_t i = 0; i < softExprs_.size(); ++i) {
+    const z3::expr value = model_->eval(softExprs_[i], true);
+    if (value.is_true()) {
+      result.satisfiedObjectives.push_back(softInfos_[i].label);
+    } else {
+      result.violatedObjectives.push_back(softInfos_[i].label);
+    }
+  }
+  return result;
+}
+
+bool SmtSession::evalBool(const z3::expr& expr) const {
+  require(model_.has_value(), "evalBool before a sat check()");
+  return model_->eval(expr, true).is_true();
+}
+
+int SmtSession::evalInt(const z3::expr& expr) const {
+  require(model_.has_value(), "evalInt before a sat check()");
+  return model_->eval(expr, true).get_numeral_int();
+}
+
+std::string mangle(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '_';
+    std::string part = parts[i];
+    std::replace(part.begin(), part.end(), '/', '.');
+    std::replace(part.begin(), part.end(), ' ', '.');
+    out += part;
+  }
+  return out;
+}
+
+}  // namespace aed

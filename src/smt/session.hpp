@@ -1,0 +1,115 @@
+// Thin wrapper over the Z3 C++ API.
+//
+// One SmtSession owns one z3::context and one z3::optimize (MaxSMT) solver.
+// Z3 contexts are not thread-safe, so the parallel per-destination engine
+// (§8) creates one session per task. The session also keeps a registry of
+// named variables so that the sketch encoder and the objective translator
+// can refer to the same delta variables by name, and a registry of soft
+// constraints so callers can report which management objectives were
+// satisfied by the chosen model.
+#pragma once
+
+#include <z3++.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aed {
+
+class SmtSession {
+ public:
+  SmtSession() : opt_(ctx_) {}
+
+  SmtSession(const SmtSession&) = delete;
+  SmtSession& operator=(const SmtSession&) = delete;
+
+  z3::context& ctx() { return ctx_; }
+  z3::optimize& solver() { return opt_; }
+
+  // ---- variable factories -------------------------------------------------
+
+  /// Creates (or returns the previously created) named boolean variable.
+  z3::expr boolVar(const std::string& name);
+  /// Creates (or returns the previously created) named integer variable.
+  z3::expr intVar(const std::string& name);
+  /// True if a variable with this name was created.
+  bool hasVar(const std::string& name) const;
+  /// Looks up a previously created variable; throws if unknown.
+  z3::expr var(const std::string& name) const;
+
+  /// Fresh anonymous variables for encoder internals.
+  z3::expr freshBool(const std::string& stem);
+  z3::expr freshInt(const std::string& stem);
+
+  // ---- constants ----------------------------------------------------------
+
+  z3::expr boolVal(bool value) { return ctx_.bool_val(value); }
+  z3::expr intVal(int value) { return ctx_.int_val(value); }
+
+  // ---- constraints ----------------------------------------------------------
+
+  /// Adds a hard constraint.
+  void addHard(const z3::expr& constraint) { opt_.add(constraint); }
+
+  /// Adds a weighted soft constraint labeled with an objective name.
+  /// Returns the index of the registered soft constraint.
+  std::size_t addSoft(const z3::expr& constraint, unsigned weight,
+                      const std::string& label);
+
+  struct SoftInfo {
+    std::string label;
+    unsigned weight = 1;
+  };
+  const std::vector<SoftInfo>& softConstraints() const { return softInfos_; }
+
+  /// Randomizes the solver's decision phase. Used by the NetComplete-like
+  /// clean-slate baseline: a synthesizer that does not anchor on the current
+  /// configuration picks arbitrary values for unconstrained constructs;
+  /// Z3's default false-bias would otherwise make the baseline look
+  /// artificially incremental.
+  void randomizePhase(unsigned seed);
+
+  // ---- solving --------------------------------------------------------------
+
+  struct Result {
+    bool sat = false;
+    /// Raw solver verdict: "sat", "unsat", or "unknown". A solver that
+    /// answers "unknown" must never be treated as a proof of
+    /// unsatisfiability; callers distinguishing the two read this field.
+    std::string status = "unknown";
+    /// Labels of soft constraints satisfied / violated by the model.
+    std::vector<std::string> satisfiedObjectives;
+    std::vector<std::string> violatedObjectives;
+  };
+
+  /// Runs the MaxSMT query. On sat, the model is retained for eval calls.
+  Result check();
+
+  /// Evaluates a boolean expression in the last model (model completion on).
+  bool evalBool(const z3::expr& expr) const;
+  /// Evaluates an integer expression in the last model.
+  int evalInt(const z3::expr& expr) const;
+
+  /// Statistics of the last check (for benches).
+  std::size_t numVars() const { return vars_.size(); }
+
+ private:
+  z3::context ctx_;
+  z3::optimize opt_;
+  std::map<std::string, z3::expr> vars_;
+  std::vector<z3::expr> softExprs_;
+  std::vector<SoftInfo> softInfos_;
+  std::optional<z3::model> model_;
+  int freshCounter_ = 0;
+};
+
+/// Mangles a list of name parts into a deterministic variable name, e.g.
+/// mangle({"rm", "B", "bgp", "Adj", "A"}) == "rm_B_bgp_Adj_A". Characters
+/// that are unfriendly to debugging output ('/', ' ') are replaced.
+std::string mangle(const std::vector<std::string>& parts);
+
+}  // namespace aed

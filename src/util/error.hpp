@@ -1,0 +1,22 @@
+// Error type shared across AED modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aed {
+
+/// Thrown for unrecoverable errors: malformed configurations, invalid
+/// objective expressions, internal invariant violations. Callers that can
+/// recover (e.g. the CLI examples) catch this at the top level.
+class AedError : public std::runtime_error {
+ public:
+  explicit AedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws AedError with the given message if `cond` is false.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw AedError(message);
+}
+
+}  // namespace aed

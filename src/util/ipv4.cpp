@@ -1,0 +1,131 @@
+#include "util/ipv4.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace aed {
+
+namespace {
+
+// Parses a decimal integer in [0, max]; advances `text` past it.
+std::optional<std::uint32_t> parseDecimal(std::string_view& text,
+                                          std::uint32_t max) {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto value = parseDecimal(text, 255);
+    if (!value) return std::nullopt;
+    bits = (bits << 8) | *value;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((bits_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address addr, int length) : length_(length) {
+  require(length >= 0 && length <= 32, "prefix length out of range");
+  const std::uint32_t m =
+      length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  addr_ = Ipv4Address(addr.bits() & m);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view lenText = text.substr(slash + 1);
+  auto len = parseDecimal(lenText, 32);
+  if (!len || !lenText.empty()) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<int>(*len));
+}
+
+std::string Ipv4Prefix::str() const {
+  return addr_.str() + "/" + std::to_string(length_);
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Address addr) const {
+  return (addr.bits() & mask()) == addr_.bits();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return length_ <= other.length_ && contains(other.addr_);
+}
+
+bool Ipv4Prefix::overlaps(const Ipv4Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+Ipv4Address Ipv4Prefix::nth(std::uint32_t offset) const {
+  return Ipv4Address(addr_.bits() + offset);
+}
+
+std::vector<Ipv4Prefix> packetEquivalenceClasses(
+    std::vector<Ipv4Prefix> prefixes) {
+  // Sort by (address, length) and drop duplicates.
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+
+  // A prefix that contains another must be split around it. We recursively
+  // split supernets into their two halves until no containment remains; the
+  // halves that still contain a finer input prefix keep splitting, the rest
+  // become classes. Runtime is bounded by 32 * |input| splits.
+  std::set<Ipv4Prefix> work(prefixes.begin(), prefixes.end());
+  std::vector<Ipv4Prefix> classes;
+  while (!work.empty()) {
+    const Ipv4Prefix p = *work.begin();
+    work.erase(work.begin());
+    // Does p strictly contain any other pending prefix or emitted class?
+    const auto strictlyContains = [&p](const Ipv4Prefix& q) {
+      return p.length() < q.length() && p.contains(q);
+    };
+    const bool splits =
+        std::any_of(work.begin(), work.end(), strictlyContains) ||
+        std::any_of(classes.begin(), classes.end(), strictlyContains);
+    if (!splits || p.length() == 32) {
+      classes.push_back(p);
+      continue;
+    }
+    const int half = p.length() + 1;
+    work.insert(Ipv4Prefix(p.address(), half));
+    work.insert(
+        Ipv4Prefix(Ipv4Address(p.address().bits() | (1u << (32 - half))),
+                   half));
+  }
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+}  // namespace aed

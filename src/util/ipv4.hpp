@@ -1,0 +1,85 @@
+// IPv4 address and prefix value types.
+//
+// AED reasons about traffic classes and route advertisements in terms of
+// IPv4 prefixes: route filters match prefixes, policies name source and
+// destination subnets, and the pruning optimization (§8 of the paper) is a
+// prefix-intersection test. These types are plain values with total ordering
+// so they can key maps and be deduplicated.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aed {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t bits) : bits_(bits) {}
+  /// Builds from dotted-quad octets, e.g. Ipv4Address(10, 0, 0, 1).
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv4 prefix (address + length), canonicalized so that host bits are
+/// zero. Length 0 is the default route; length 32 a host route.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address addr, int length);
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr int length() const { return length_; }
+  std::string str() const;
+
+  /// The netmask for this prefix length (e.g. /16 -> 255.255.0.0).
+  std::uint32_t mask() const;
+
+  /// True if `addr` falls inside this prefix.
+  bool contains(Ipv4Address addr) const;
+  /// True if `other` is fully contained in this prefix (this is a supernet
+  /// of, or equal to, other).
+  bool contains(const Ipv4Prefix& other) const;
+  /// True if the two prefixes share any address (one contains the other).
+  bool overlaps(const Ipv4Prefix& other) const;
+
+  /// First usable-ish address: network address + offset (no broadcast math;
+  /// generators use this to assign router interface addresses).
+  Ipv4Address nth(std::uint32_t offset) const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address addr_;
+  int length_ = 0;
+};
+
+/// Splits a set of possibly-overlapping prefixes into disjoint "packet
+/// equivalence classes" (§6.2 footnote 4): the returned prefixes are pairwise
+/// non-overlapping and their union covers the union of the input. The split
+/// is prefix-aligned: each input prefix equals a union of returned prefixes.
+std::vector<Ipv4Prefix> packetEquivalenceClasses(
+    std::vector<Ipv4Prefix> prefixes);
+
+}  // namespace aed

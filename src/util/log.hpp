@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// AED's engine logs milestone events (sketch size, solver statistics) at
+// Info, and detailed encoding decisions at Debug. The level is a process
+// global settable by tests/benches; output goes to stderr so bench result
+// tables on stdout stay machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aed {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style log statement: destructor emits the line.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace aed

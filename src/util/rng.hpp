@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// All AED generators (topologies, configurations, policies) take an explicit
+// seed so experiments are reproducible run-to-run and machine-to-machine.
+// We use xoshiro256** (public domain, Blackman & Vigna) rather than
+// std::mt19937 because its output is identical across standard library
+// implementations for the *distributions* too: we implement bounded draws
+// ourselves instead of relying on std::uniform_int_distribution, whose
+// algorithm is unspecified.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aed {
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience bounded/real draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    while (true) {
+      const std::uint64_t value = next();
+      if (value >= threshold) return value % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double probability) { return real() < probability; }
+
+  /// Picks a uniformly random element index for a container of `size`.
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(below(size));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace aed

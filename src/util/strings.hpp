@@ -1,0 +1,26 @@
+// Small string helpers used by the config parser and objective language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aed {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on any run of ASCII whitespace; no empty tokens.
+std::vector<std::string_view> splitWhitespace(std::string_view text);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> splitChar(std::string_view text, char sep);
+
+/// Joins the elements with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace aed

@@ -1,0 +1,59 @@
+// Fixed-size thread pool used by the per-destination parallel solver (§8).
+//
+// Z3 contexts are not thread-safe, so the AED engine creates one context per
+// submitted task; the pool only provides the workers. Tasks are independent
+// (no inter-task ordering), which matches the paper's observation that
+// per-destination problems never conflict.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aed {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  std::size_t workerCount() const { return threads_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs each thunk on a pool and waits for all; convenience for benches.
+void runParallel(std::vector<std::function<void()>> tasks,
+                 std::size_t workers);
+
+}  // namespace aed

@@ -1,0 +1,89 @@
+// Shared test fixtures.
+//
+// figure1ConfigText() reproduces the example network of the paper's Figure 1:
+// four routers A-D running BGP, with B filtering routes from A (deny
+// 1.0.0.0/16, local-preference 20 otherwise) and B blocking packets from
+// 3.0.0.0/16 arriving from D. The paper's three example policies over it:
+//   P1 = blocking     3.0.0.0/16 -> 1.0.0.0/16   (holds: B's packet filter)
+//   P2 = waypoint     2.0.0.0/16 -> 1.0.0.0/16 via C (holds: route filter)
+//   P3 = reachability 3.0.0.0/16 -> 2.0.0.0/16   (violated: packet filter)
+#pragma once
+
+#include <string>
+
+#include "policy/policy.hpp"
+#include "util/ipv4.hpp"
+
+namespace aed::testing {
+
+inline std::string figure1ConfigText() {
+  return R"(hostname A
+interface hosts
+ ip address 1.0.0.1/16
+interface toB
+ ip address 10.0.1.1/30
+interface toC
+ ip address 10.0.3.1/30
+router bgp 65001
+ neighbor 10.0.1.2 remote-router B
+ neighbor 10.0.3.2 remote-router C
+ network 1.0.0.0/16
+!
+hostname B
+interface hosts
+ ip address 2.0.0.1/16
+interface toA
+ ip address 10.0.1.2/30
+interface toC
+ ip address 10.0.2.1/30
+interface toD
+ ip address 10.0.4.1/30
+ packet-filter-in pf_b
+router bgp 65002
+ neighbor 10.0.1.1 remote-router A filter-in rf_a
+ neighbor 10.0.2.2 remote-router C
+ neighbor 10.0.4.2 remote-router D
+ network 2.0.0.0/16
+ route-filter rf_a seq 10 deny 1.0.0.0/16
+ route-filter rf_a seq 20 permit any set local-preference 20
+packet-filter pf_b seq 10 deny 3.0.0.0/16 any
+packet-filter pf_b seq 20 permit any any
+!
+hostname C
+interface hosts
+ ip address 4.0.0.1/16
+interface toA
+ ip address 10.0.3.2/30
+interface toB
+ ip address 10.0.2.2/30
+router bgp 65003
+ neighbor 10.0.3.1 remote-router A
+ neighbor 10.0.2.1 remote-router B
+ network 4.0.0.0/16
+!
+hostname D
+interface hosts
+ ip address 3.0.0.1/16
+interface toB
+ ip address 10.0.4.2/30
+router bgp 65004
+ neighbor 10.0.4.1 remote-router B
+ network 3.0.0.0/16
+)";
+}
+
+inline TrafficClass cls(const std::string& src, const std::string& dst) {
+  return TrafficClass{*Ipv4Prefix::parse(src), *Ipv4Prefix::parse(dst)};
+}
+
+inline Policy figure1P1() {
+  return Policy::blocking(cls("3.0.0.0/16", "1.0.0.0/16"));
+}
+inline Policy figure1P2() {
+  return Policy::waypoint(cls("2.0.0.0/16", "1.0.0.0/16"), {"C"});
+}
+inline Policy figure1P3() {
+  return Policy::reachability(cls("3.0.0.0/16", "2.0.0.0/16"));
+}
+
+}  // namespace aed::testing

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "conftree/diff.hpp"
+#include "conftree/parser.hpp"
+#include "conftree/printer.hpp"
+#include "gen/manual.hpp"
+#include "gen/netgen.hpp"
+#include "gen/policygen.hpp"
+#include "simulate/simulator.hpp"
+
+namespace aed {
+namespace {
+
+TEST(DcGenerator, BuildsExpectedShape) {
+  DcParams params;
+  params.racks = 4;
+  params.aggs = 2;
+  params.spines = 2;
+  params.seed = 3;
+  const GeneratedNetwork net = generateDatacenter(params);
+  EXPECT_EQ(net.tree.routers().size(), 8u);
+  EXPECT_EQ(net.hostSubnets.size(), 4u);
+  const Topology topo = Topology::fromConfigs(net.tree);
+  // racks*aggs + aggs*spines links.
+  EXPECT_EQ(topo.links().size(), 4u * 2 + 2 * 2);
+  EXPECT_EQ(net.roles.at("rack0"), "rack");
+  EXPECT_EQ(net.roles.at("spine1"), "spine");
+}
+
+TEST(DcGenerator, PrintedConfigsReparse) {
+  const GeneratedNetwork net = generateDatacenter({});
+  const std::string text = printNetworkConfig(net.tree);
+  const ConfigTree reparsed = parseNetworkConfig(text);
+  EXPECT_EQ(printNetworkConfig(reparsed), text);
+}
+
+TEST(DcGenerator, RackFiltersFormTemplate) {
+  DcParams params;
+  params.racks = 4;
+  params.seed = 3;
+  params.blockedPairFraction = 0.5;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const TemplateGroups groups = computeTemplateGroups(net.tree);
+  // All racks share pf_rack content -> one rack template group (the aggs
+  // form another via rf_agg).
+  bool rackGroup = false;
+  for (const auto& group : groups.groups) {
+    if (group.size() == 4) rackGroup = true;
+  }
+  EXPECT_TRUE(rackGroup);
+}
+
+TEST(DcGenerator, DeterministicInSeed) {
+  DcParams params;
+  params.racks = 8;
+  params.blockedPairFraction = 0.5;
+  params.seed = 17;
+  const std::string a = printNetworkConfig(generateDatacenter(params).tree);
+  const std::string b = printNetworkConfig(generateDatacenter(params).tree);
+  EXPECT_EQ(a, b);
+  params.seed = 18;
+  EXPECT_NE(printNetworkConfig(generateDatacenter(params).tree), a);
+}
+
+TEST(DcGenerator, UnblockedTrafficFlows) {
+  DcParams params;
+  params.blockedPairFraction = 0.0;
+  const GeneratedNetwork net = generateDatacenter(params);
+  Simulator sim(net.tree);
+  const PolicySet inferred = sim.inferReachabilityPolicies();
+  for (const Policy& policy : inferred) {
+    EXPECT_EQ(policy.kind, PolicyKind::kReachability) << policy.str();
+  }
+}
+
+TEST(DcGenerator, BlockedFractionCreatesBlockingPolicies) {
+  DcParams params;
+  params.racks = 6;
+  params.blockedPairFraction = 0.5;
+  params.seed = 5;
+  const GeneratedNetwork net = generateDatacenter(params);
+  Simulator sim(net.tree);
+  const PolicySet inferred = sim.inferReachabilityPolicies();
+  int blocking = 0;
+  for (const Policy& policy : inferred) {
+    blocking += policy.kind == PolicyKind::kBlocking;
+  }
+  EXPECT_GT(blocking, 0);
+}
+
+TEST(DcGenerator, TinyNetworksWork) {
+  DcParams params;
+  params.racks = 2;
+  params.aggs = 0;
+  params.spines = 0;
+  const GeneratedNetwork net = generateDatacenter(params);
+  EXPECT_EQ(net.tree.routers().size(), 2u);
+  const Topology topo = Topology::fromConfigs(net.tree);
+  EXPECT_EQ(topo.links().size(), 1u);
+  Simulator sim(net.tree);
+  EXPECT_FALSE(sim.inferReachabilityPolicies().empty());
+}
+
+TEST(ZooGenerator, ConnectedAndSized) {
+  ZooParams params;
+  params.routers = 24;
+  params.seed = 5;
+  const GeneratedNetwork net = generateZoo(params);
+  EXPECT_EQ(net.tree.routers().size(), 24u);
+  const Topology topo = Topology::fromConfigs(net.tree);
+  EXPECT_GE(topo.links().size(), 23u);  // spanning tree at minimum
+  // Connectivity: every pair of subnets reachable when nothing is blocked.
+  Simulator sim(net.tree);
+  for (const auto& [router, subnet] : net.hostSubnets) {
+    EXPECT_TRUE(sim.deliversLocally(router, subnet));
+  }
+}
+
+TEST(ZooGenerator, PrintedConfigsReparse) {
+  ZooParams params;
+  params.routers = 12;
+  const GeneratedNetwork net = generateZoo(params);
+  const std::string text = printNetworkConfig(net.tree);
+  EXPECT_EQ(printNetworkConfig(parseNetworkConfig(text)), text);
+}
+
+TEST(PolicyGen, ReachabilityUpdateSplitsInferredSet) {
+  DcParams params;
+  params.racks = 4;
+  params.blockedPairFraction = 0.5;
+  params.seed = 5;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicyUpdate update = makeReachabilityUpdate(net.tree, 2, 42);
+  EXPECT_EQ(update.added.size(), 2u);
+  Simulator sim(net.tree);
+  // Base holds; additions are violated.
+  EXPECT_TRUE(sim.violations(update.base).empty());
+  for (const Policy& policy : update.added) {
+    EXPECT_EQ(policy.kind, PolicyKind::kReachability);
+    EXPECT_FALSE(sim.checkPolicy(policy)) << policy.str();
+  }
+}
+
+TEST(PolicyGen, BaseLimitSubsamples) {
+  DcParams params;
+  params.racks = 6;
+  params.blockedPairFraction = 0.3;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicyUpdate update = makeReachabilityUpdate(net.tree, 2, 42, 5);
+  EXPECT_LE(update.base.size(), 5u);
+}
+
+TEST(PolicyGen, WaypointPoliciesHoldOrAreSatisfiable) {
+  DcParams params;
+  params.racks = 4;
+  params.aggs = 2;
+  params.spines = 1;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicySet policies = makeWaypointPolicies(net.tree, 3, 9);
+  EXPECT_FALSE(policies.empty());
+  Simulator sim(net.tree);
+  for (const Policy& policy : policies) {
+    EXPECT_EQ(policy.kind, PolicyKind::kWaypoint);
+    // Generated from current paths, so they hold already.
+    EXPECT_TRUE(sim.checkPolicy(policy)) << policy.str();
+  }
+}
+
+TEST(PolicyGen, PathPreferencePoliciesShaped) {
+  ZooParams params;
+  params.routers = 16;
+  params.seed = 3;
+  const GeneratedNetwork net = generateZoo(params);
+  const PolicySet policies = makePathPreferencePolicies(net.tree, 3, 9);
+  for (const Policy& policy : policies) {
+    EXPECT_EQ(policy.kind, PolicyKind::kPathPreference);
+    EXPECT_GE(policy.primaryPath.size(), 2u);
+    EXPECT_GE(policy.alternatePath.size(), 2u);
+    EXPECT_EQ(policy.primaryPath.front(), policy.alternatePath.front());
+    EXPECT_EQ(policy.primaryPath.back(), policy.alternatePath.back());
+    // Alternate avoids the primary's first link.
+    EXPECT_FALSE(policy.alternatePath[0] == policy.primaryPath[0] &&
+                 policy.alternatePath[1] == policy.primaryPath[1]);
+  }
+}
+
+TEST(ManualUpdater, FixesBlockedPairsTemplateWide) {
+  DcParams params;
+  params.racks = 4;
+  params.aggs = 2;
+  params.blockedPairFraction = 0.5;
+  params.seed = 5;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicyUpdate update = makeReachabilityUpdate(net.tree, 2, 42);
+  PolicySet all = update.base;
+  all.insert(all.end(), update.added.begin(), update.added.end());
+
+  const ManualUpdateResult result = manualUpdate(net.tree, all);
+  ASSERT_TRUE(result.success) << result.error;
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(all).empty());
+
+  // Template-wide edits keep rack templates intact...
+  const TemplateGroups groups = computeTemplateGroups(net.tree);
+  EXPECT_EQ(countTemplateViolations(groups, result.updated), 0);
+  // ...at the cost of touching every rack.
+  const DiffStats stats = diffNetworks(net.tree, result.updated);
+  EXPECT_GE(stats.devicesChanged, 4);
+}
+
+}  // namespace
+}  // namespace aed

@@ -1,0 +1,247 @@
+// Property-based (parameterized) test sweeps.
+//
+// These tests check invariants over families of randomly generated inputs
+// (deterministic in the seed) rather than single examples:
+//   * parse/print round-trips on generated networks,
+//   * simulator well-formedness (loop-free forwarding, converged routes,
+//     inferred policies hold by construction),
+//   * packet-equivalence-class disjointness/coverage,
+//   * AED end-to-end soundness: synthesized patches always validate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "conftree/diff.hpp"
+#include "conftree/parser.hpp"
+#include "conftree/printer.hpp"
+#include "core/aed.hpp"
+#include "gen/netgen.hpp"
+#include "gen/policygen.hpp"
+#include "simulate/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aed {
+namespace {
+
+// ---------------------------------------------------------- round trip sweep
+
+class RoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripSweep, DcConfigsRoundTrip) {
+  DcParams params;
+  params.racks = 2 + static_cast<int>(GetParam() % 5);
+  params.aggs = 1 + static_cast<int>(GetParam() % 3);
+  params.spines = static_cast<int>(GetParam() % 2);
+  params.blockedPairFraction = 0.3;
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateDatacenter(params);
+  const std::string text = printNetworkConfig(net.tree);
+  const ConfigTree reparsed = parseNetworkConfig(text);
+  EXPECT_EQ(printNetworkConfig(reparsed), text);
+  EXPECT_EQ(reparsed.nodeCount(), net.tree.nodeCount());
+}
+
+TEST_P(RoundTripSweep, ZooConfigsRoundTrip) {
+  ZooParams params;
+  params.routers = 6 + static_cast<int>(GetParam() % 18);
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateZoo(params);
+  const std::string text = printNetworkConfig(net.tree);
+  EXPECT_EQ(printNetworkConfig(parseNetworkConfig(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------------------ simulator sweep
+
+class SimulatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorSweep, ForwardingIsLoopFreeAndConsistent) {
+  ZooParams params;
+  params.routers = 8 + static_cast<int>(GetParam() % 16);
+  params.blockedPairFraction = 0.3;
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateZoo(params);
+  Simulator sim(net.tree);
+  for (const auto& [dstRouter, dst] : net.hostSubnets) {
+    const auto routes = sim.computeRoutes(dst);
+    for (const auto& [srcRouter, src] : net.hostSubnets) {
+      if (src == dst) continue;
+      const ForwardResult fwd = sim.forward({src, dst}, srcRouter);
+      // No forwarding loops ever (the walk deduplicates and reports them).
+      EXPECT_EQ(fwd.dropReason.find("loop"), std::string::npos)
+          << src.str() << "->" << dst.str();
+      if (fwd.delivered) {
+        // Path ends at a router that delivers the destination locally.
+        EXPECT_TRUE(sim.deliversLocally(fwd.path.back(), dst));
+        // Each hop follows the converged best route.
+        for (std::size_t i = 0; i + 1 < fwd.path.size(); ++i) {
+          EXPECT_EQ(routes.at(fwd.path[i]).viaNeighbor, fwd.path[i + 1]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimulatorSweep, InferredPoliciesHoldByConstruction) {
+  DcParams params;
+  params.racks = 3 + static_cast<int>(GetParam() % 4);
+  params.aggs = 2;
+  params.blockedPairFraction = 0.4;
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateDatacenter(params);
+  Simulator sim(net.tree);
+  const PolicySet inferred = sim.inferReachabilityPolicies();
+  EXPECT_TRUE(sim.violations(inferred).empty());
+  // Every ordered pair of distinct stub subnets is classified.
+  const std::size_t subnets = sim.topology().stubSubnets().size();
+  EXPECT_EQ(inferred.size(), subnets * (subnets - 1));
+}
+
+TEST_P(SimulatorSweep, CostsIncreaseAlongPaths) {
+  ZooParams params;
+  params.routers = 10 + static_cast<int>(GetParam() % 10);
+  params.blockedPairFraction = 0.0;
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateZoo(params);
+  Simulator sim(net.tree);
+  for (const auto& [dstRouter, dst] : net.hostSubnets) {
+    const auto routes = sim.computeRoutes(dst);
+    for (const auto& [router, entry] : routes) {
+      if (!entry.valid || entry.viaNeighbor.empty()) continue;
+      const RouteEntry& next = routes.at(entry.viaNeighbor);
+      ASSERT_TRUE(next.valid);
+      // BGP costs strictly decrease towards the destination.
+      if (entry.protocol == "bgp" && next.protocol == "bgp") {
+        EXPECT_LT(next.cost, entry.cost);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorSweep,
+                         ::testing::Values(2, 7, 11, 19, 23, 31));
+
+// ------------------------------------------------------------------ PEC sweep
+
+class PecSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PecSweep, ClassesAreDisjointAndCoverInputs) {
+  Rng rng(GetParam());
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 12; ++i) {
+    const auto base = static_cast<std::uint32_t>(rng.next());
+    const int len = static_cast<int>(8 + rng.below(17));  // /8 .. /24
+    prefixes.push_back(Ipv4Prefix(Ipv4Address(base), len));
+  }
+  const auto classes = packetEquivalenceClasses(prefixes);
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (std::size_t j = i + 1; j < classes.size(); ++j) {
+      EXPECT_FALSE(classes[i].overlaps(classes[j]))
+          << classes[i].str() << " vs " << classes[j].str();
+    }
+  }
+  // Every input prefix is exactly covered: each class overlapping it must
+  // be contained in it, and the contained classes' total size must equal
+  // the input's size.
+  for (const Ipv4Prefix& input : prefixes) {
+    std::uint64_t covered = 0;
+    for (const Ipv4Prefix& cls : classes) {
+      if (!input.overlaps(cls)) continue;
+      EXPECT_TRUE(input.contains(cls))
+          << input.str() << " vs " << cls.str();
+      covered += std::uint64_t{1} << (32 - cls.length());
+    }
+    EXPECT_EQ(covered, std::uint64_t{1} << (32 - input.length()))
+        << input.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PecSweep,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+// ------------------------------------------------------------- AED soundness
+
+struct AedSweepCase {
+  std::uint64_t seed;
+  int racks;
+  int added;
+};
+
+class AedSoundnessSweep : public ::testing::TestWithParam<AedSweepCase> {};
+
+TEST_P(AedSoundnessSweep, SynthesizedPatchAlwaysValidates) {
+  const AedSweepCase param = GetParam();
+  DcParams params;
+  params.racks = param.racks;
+  params.aggs = 2;
+  params.spines = 1;
+  params.blockedPairFraction = 0.5;
+  params.seed = param.seed;
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicyUpdate update =
+      makeReachabilityUpdate(net.tree, param.added, param.seed + 1000);
+  PolicySet all = update.base;
+  all.insert(all.end(), update.added.begin(), update.added.end());
+
+  const AedResult result = synthesize(net.tree, all, objectivesMinDevices());
+  ASSERT_TRUE(result.success) << result.error;
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(all).empty());
+  // The patch applied to a fresh clone reproduces the same tree.
+  const ConfigTree replay = result.patch.applied(net.tree);
+  EXPECT_EQ(printNetworkConfig(replay), printNetworkConfig(result.updated));
+  // Updates never touch more devices than there are added policies' targets
+  // plus their filters-on-path (sanity envelope: all racks + aggs).
+  const DiffStats stats = diffNetworks(net.tree, result.updated);
+  EXPECT_LE(stats.devicesChanged, params.racks + params.aggs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AedSoundnessSweep,
+    ::testing::Values(AedSweepCase{4, 3, 1}, AedSweepCase{5, 4, 2},
+                      AedSweepCase{6, 4, 3}, AedSweepCase{7, 5, 2},
+                      AedSweepCase{8, 6, 2}));
+
+// --------------------------------------------------------- objective sweeps
+
+class ObjectiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObjectiveSweep, EquateKeepsClonesIdenticalWheneverSatisfied) {
+  DcParams params;
+  params.racks = 4;
+  params.aggs = 2;
+  params.blockedPairFraction = 0.5;
+  params.seed = GetParam();
+  const GeneratedNetwork net = generateDatacenter(params);
+  const PolicyUpdate update =
+      makeReachabilityUpdate(net.tree, 2, GetParam() + 50);
+  PolicySet all = update.base;
+  all.insert(all.end(), update.added.begin(), update.added.end());
+
+  const AedResult result =
+      synthesize(net.tree, all, objectivesPreserveTemplates());
+  ASSERT_TRUE(result.success) << result.error;
+  const TemplateGroups groups = computeTemplateGroups(net.tree);
+  // If AED reports the EQUATE objectives satisfied, the template metric
+  // must agree.
+  bool allEquatesSatisfied = true;
+  for (const std::string& label : result.violatedObjectives) {
+    if (label.find("EQUATE") != std::string::npos) {
+      allEquatesSatisfied = false;
+    }
+  }
+  if (allEquatesSatisfied) {
+    EXPECT_EQ(countTemplateViolations(groups, result.updated), 0)
+        << result.patch.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectiveSweep,
+                         ::testing::Values(3, 5, 9, 12));
+
+}  // namespace
+}  // namespace aed
