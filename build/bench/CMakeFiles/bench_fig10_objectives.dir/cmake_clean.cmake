@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_objectives.dir/bench_fig10_objectives.cpp.o"
+  "CMakeFiles/bench_fig10_objectives.dir/bench_fig10_objectives.cpp.o.d"
+  "bench_fig10_objectives"
+  "bench_fig10_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_policyscale.dir/bench_fig12_policyscale.cpp.o"
+  "CMakeFiles/bench_fig12_policyscale.dir/bench_fig12_policyscale.cpp.o.d"
+  "bench_fig12_policyscale"
+  "bench_fig12_policyscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_policyscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

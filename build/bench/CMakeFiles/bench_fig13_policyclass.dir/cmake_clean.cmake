@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_policyclass.dir/bench_fig13_policyclass.cpp.o"
+  "CMakeFiles/bench_fig13_policyclass.dir/bench_fig13_policyclass.cpp.o.d"
+  "bench_fig13_policyclass"
+  "bench_fig13_policyclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_policyclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_boollp.dir/bench_opt_boollp.cpp.o"
+  "CMakeFiles/bench_opt_boollp.dir/bench_opt_boollp.cpp.o.d"
+  "bench_opt_boollp"
+  "bench_opt_boollp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_boollp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_prune.dir/bench_opt_prune.cpp.o"
+  "CMakeFiles/bench_opt_prune.dir/bench_opt_prune.cpp.o.d"
+  "bench_opt_prune"
+  "bench_opt_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/aed_cli.cpp" "examples/CMakeFiles/aed_cli.dir/aed_cli.cpp.o" "gcc" "examples/CMakeFiles/aed_cli.dir/aed_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aed_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/aed_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectives/CMakeFiles/aed_objectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/aed_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/aed_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/aed_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulate/CMakeFiles/aed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/aed_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/conftree/CMakeFiles/aed_conftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/aed_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_cli.dir/aed_cli.cpp.o"
+  "CMakeFiles/aed_cli.dir/aed_cli.cpp.o.d"
+  "aed_cli"
+  "aed_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

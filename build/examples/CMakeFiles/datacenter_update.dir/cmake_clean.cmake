@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_update.dir/datacenter_update.cpp.o"
+  "CMakeFiles/datacenter_update.dir/datacenter_update.cpp.o.d"
+  "datacenter_update"
+  "datacenter_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objective_tour.dir/objective_tour.cpp.o"
+  "CMakeFiles/objective_tour.dir/objective_tour.cpp.o.d"
+  "objective_tour"
+  "objective_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objective_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

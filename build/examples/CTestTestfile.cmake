@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_objective_tour "/root/repo/build/examples/objective_tour")
+set_tests_properties(example_objective_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_waypoint_firewall "/root/repo/build/examples/waypoint_firewall")
+set_tests_properties(example_waypoint_firewall PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_datacenter_update "/root/repo/build/examples/datacenter_update")
+set_tests_properties(example_datacenter_update PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aed_cli "/root/repo/build/examples/aed_cli" "--configs" "/root/repo/examples/data/figure1.conf" "--policies" "/root/repo/examples/data/figure1.policies" "--objectives" "/root/repo/examples/data/figure1.objectives")
+set_tests_properties(example_aed_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

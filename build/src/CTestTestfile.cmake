@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("conftree")
+subdirs("topology")
+subdirs("policy")
+subdirs("simulate")
+subdirs("smt")
+subdirs("sketch")
+subdirs("encode")
+subdirs("objectives")
+subdirs("core")
+subdirs("baselines")
+subdirs("gen")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_baselines.dir/cpr.cpp.o"
+  "CMakeFiles/aed_baselines.dir/cpr.cpp.o.d"
+  "CMakeFiles/aed_baselines.dir/netcomplete.cpp.o"
+  "CMakeFiles/aed_baselines.dir/netcomplete.cpp.o.d"
+  "libaed_baselines.a"
+  "libaed_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

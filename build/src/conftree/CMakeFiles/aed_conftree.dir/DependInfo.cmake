@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conftree/diff.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/diff.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/diff.cpp.o.d"
+  "/root/repo/src/conftree/node.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/node.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/node.cpp.o.d"
+  "/root/repo/src/conftree/parser.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/parser.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/parser.cpp.o.d"
+  "/root/repo/src/conftree/patch.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/patch.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/patch.cpp.o.d"
+  "/root/repo/src/conftree/printer.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/printer.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/printer.cpp.o.d"
+  "/root/repo/src/conftree/tree.cpp" "src/conftree/CMakeFiles/aed_conftree.dir/tree.cpp.o" "gcc" "src/conftree/CMakeFiles/aed_conftree.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

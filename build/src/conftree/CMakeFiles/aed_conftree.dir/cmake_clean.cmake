@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_conftree.dir/diff.cpp.o"
+  "CMakeFiles/aed_conftree.dir/diff.cpp.o.d"
+  "CMakeFiles/aed_conftree.dir/node.cpp.o"
+  "CMakeFiles/aed_conftree.dir/node.cpp.o.d"
+  "CMakeFiles/aed_conftree.dir/parser.cpp.o"
+  "CMakeFiles/aed_conftree.dir/parser.cpp.o.d"
+  "CMakeFiles/aed_conftree.dir/patch.cpp.o"
+  "CMakeFiles/aed_conftree.dir/patch.cpp.o.d"
+  "CMakeFiles/aed_conftree.dir/printer.cpp.o"
+  "CMakeFiles/aed_conftree.dir/printer.cpp.o.d"
+  "CMakeFiles/aed_conftree.dir/tree.cpp.o"
+  "CMakeFiles/aed_conftree.dir/tree.cpp.o.d"
+  "libaed_conftree.a"
+  "libaed_conftree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_conftree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

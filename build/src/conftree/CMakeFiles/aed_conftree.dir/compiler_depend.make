@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aed_conftree.
+# This may be replaced when dependencies are built.

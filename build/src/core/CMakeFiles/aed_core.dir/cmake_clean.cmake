@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_core.dir/aed.cpp.o"
+  "CMakeFiles/aed_core.dir/aed.cpp.o.d"
+  "libaed_core.a"
+  "libaed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

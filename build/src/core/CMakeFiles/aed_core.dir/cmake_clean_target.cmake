@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaed_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_encode.dir/encoder.cpp.o"
+  "CMakeFiles/aed_encode.dir/encoder.cpp.o.d"
+  "CMakeFiles/aed_encode.dir/extract.cpp.o"
+  "CMakeFiles/aed_encode.dir/extract.cpp.o.d"
+  "libaed_encode.a"
+  "libaed_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_gen.dir/manual.cpp.o"
+  "CMakeFiles/aed_gen.dir/manual.cpp.o.d"
+  "CMakeFiles/aed_gen.dir/netgen.cpp.o"
+  "CMakeFiles/aed_gen.dir/netgen.cpp.o.d"
+  "CMakeFiles/aed_gen.dir/policygen.cpp.o"
+  "CMakeFiles/aed_gen.dir/policygen.cpp.o.d"
+  "libaed_gen.a"
+  "libaed_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_objectives.dir/objective.cpp.o"
+  "CMakeFiles/aed_objectives.dir/objective.cpp.o.d"
+  "CMakeFiles/aed_objectives.dir/translate.cpp.o"
+  "CMakeFiles/aed_objectives.dir/translate.cpp.o.d"
+  "CMakeFiles/aed_objectives.dir/xpath.cpp.o"
+  "CMakeFiles/aed_objectives.dir/xpath.cpp.o.d"
+  "libaed_objectives.a"
+  "libaed_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_policy.dir/parse.cpp.o"
+  "CMakeFiles/aed_policy.dir/parse.cpp.o.d"
+  "CMakeFiles/aed_policy.dir/policy.cpp.o"
+  "CMakeFiles/aed_policy.dir/policy.cpp.o.d"
+  "libaed_policy.a"
+  "libaed_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aed_sim.dir/simulator.cpp.o.d"
+  "libaed_sim.a"
+  "libaed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/delta.cpp" "src/sketch/CMakeFiles/aed_sketch.dir/delta.cpp.o" "gcc" "src/sketch/CMakeFiles/aed_sketch.dir/delta.cpp.o.d"
+  "/root/repo/src/sketch/sketch.cpp" "src/sketch/CMakeFiles/aed_sketch.dir/sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/aed_sketch.dir/sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aed_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/conftree/CMakeFiles/aed_conftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/aed_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/aed_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/aed_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

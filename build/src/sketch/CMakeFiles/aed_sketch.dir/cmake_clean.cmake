@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_sketch.dir/delta.cpp.o"
+  "CMakeFiles/aed_sketch.dir/delta.cpp.o.d"
+  "CMakeFiles/aed_sketch.dir/sketch.cpp.o"
+  "CMakeFiles/aed_sketch.dir/sketch.cpp.o.d"
+  "libaed_sketch.a"
+  "libaed_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_smt.dir/session.cpp.o"
+  "CMakeFiles/aed_smt.dir/session.cpp.o.d"
+  "libaed_smt.a"
+  "libaed_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_topology.dir/topology.cpp.o"
+  "CMakeFiles/aed_topology.dir/topology.cpp.o.d"
+  "libaed_topology.a"
+  "libaed_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_util.dir/ipv4.cpp.o"
+  "CMakeFiles/aed_util.dir/ipv4.cpp.o.d"
+  "CMakeFiles/aed_util.dir/log.cpp.o"
+  "CMakeFiles/aed_util.dir/log.cpp.o.d"
+  "CMakeFiles/aed_util.dir/strings.cpp.o"
+  "CMakeFiles/aed_util.dir/strings.cpp.o.d"
+  "CMakeFiles/aed_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/aed_util.dir/thread_pool.cpp.o.d"
+  "libaed_util.a"
+  "libaed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

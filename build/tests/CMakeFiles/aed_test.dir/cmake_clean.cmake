@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aed_test.dir/aed_test.cpp.o"
+  "CMakeFiles/aed_test.dir/aed_test.cpp.o.d"
+  "aed_test"
+  "aed_test.pdb"
+  "aed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

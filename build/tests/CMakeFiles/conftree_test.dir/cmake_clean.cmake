@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conftree_test.dir/conftree_test.cpp.o"
+  "CMakeFiles/conftree_test.dir/conftree_test.cpp.o.d"
+  "conftree_test"
+  "conftree_test.pdb"
+  "conftree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conftree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectives_test.dir/objectives_test.cpp.o"
+  "CMakeFiles/objectives_test.dir/objectives_test.cpp.o.d"
+  "objectives_test"
+  "objectives_test.pdb"
+  "objectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ospf_cost_test.dir/ospf_cost_test.cpp.o"
+  "CMakeFiles/ospf_cost_test.dir/ospf_cost_test.cpp.o.d"
+  "ospf_cost_test"
+  "ospf_cost_test.pdb"
+  "ospf_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ospf_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

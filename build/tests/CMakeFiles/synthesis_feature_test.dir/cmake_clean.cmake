@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_feature_test.dir/synthesis_feature_test.cpp.o"
+  "CMakeFiles/synthesis_feature_test.dir/synthesis_feature_test.cpp.o.d"
+  "synthesis_feature_test"
+  "synthesis_feature_test.pdb"
+  "synthesis_feature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
