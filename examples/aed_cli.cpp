@@ -3,6 +3,7 @@
 // Usage:
 //   aed_cli --configs <file> --policies <file> [--objectives <file>]
 //           [--out <file>] [--sequential] [--no-validate] [--verbose]
+//           [--budget-ms <n>]
 //
 // Reads the network configuration (the canonical dialect; all routers in
 // one file), the post-update policy set (policy/parse.hpp format) and
@@ -10,7 +11,13 @@
 // the objective report, and — with --out — writes the updated
 // configurations.
 //
-// Exit codes: 0 success, 1 usage error, 2 synthesis failure.
+// --budget-ms caps the whole run's solver wall clock; under pressure the
+// engine degrades (anytime MaxSMT) and the per-subproblem outcome report is
+// printed so the operator sees exactly which destinations got which
+// treatment.
+//
+// Exit codes: 0 success, 1 usage error, 2 synthesis failure, 3 partial
+// (patch returned but some subproblem degraded or failed).
 
 #include <fstream>
 #include <iostream>
@@ -37,7 +44,8 @@ std::string readFile(const std::string& path) {
 int usage() {
   std::cerr << "usage: aed_cli --configs <file> --policies <file>\n"
                "               [--objectives <file>] [--out <file>]\n"
-               "               [--sequential] [--no-validate] [--verbose]\n";
+               "               [--sequential] [--no-validate] [--verbose]\n"
+               "               [--budget-ms <n>]\n";
   return 1;
 }
 
@@ -60,6 +68,13 @@ int main(int argc, char** argv) {
       else if (arg == "--out") outPath = value();
       else if (arg == "--sequential") options.perDestination = false;
       else if (arg == "--no-validate") options.validateWithSimulator = false;
+      else if (arg == "--budget-ms") {
+        const std::string v = value();
+        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+          throw AedError("invalid --budget-ms value: " + v);
+        }
+        options.timeBudgetMs = std::stoull(v);
+      }
       else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
       else return usage();
     } catch (const AedError& e) {
@@ -85,8 +100,27 @@ int main(int argc, char** argv) {
 
     const AedResult result = synthesize(tree, policies, objectives, options);
     if (!result.success) {
-      std::cerr << "synthesis failed: " << result.error << "\n";
+      std::cerr << "synthesis failed [" << errorCodeName(result.errorCode)
+                << "]: " << result.error << "\n";
+      for (const SubproblemReport& report : result.subproblems) {
+        if (report.outcome == SubOutcome::kOk) continue;
+        std::cerr << "  subproblem " << report.index << " ("
+                  << report.destination
+                  << "): " << subOutcomeName(report.outcome)
+                  << (report.detail.empty() ? "" : " — " + report.detail)
+                  << "\n";
+      }
       return 2;
+    }
+    if (result.degraded) {
+      std::cout << "note: partial/degraded result; per-subproblem outcomes:\n";
+      for (const SubproblemReport& report : result.subproblems) {
+        std::cout << "  subproblem " << report.index << " ("
+                  << report.destination << ", " << report.policyCount
+                  << " policies): " << subOutcomeName(report.outcome)
+                  << (report.detail.empty() ? "" : " — " + report.detail)
+                  << "\n";
+      }
     }
 
     std::cout << "\npatch (" << result.patch.size() << " edits, "
@@ -112,7 +146,7 @@ int main(int argc, char** argv) {
       out << printNetworkConfig(result.updated);
       std::cout << "updated configurations written to " << outPath << "\n";
     }
-    return 0;
+    return result.degraded ? 3 : 0;
   } catch (const AedError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

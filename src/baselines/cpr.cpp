@@ -193,6 +193,7 @@ CprResult cprRepair(const ConfigTree& tree, const PolicySet& policies) {
     if (policy.kind != PolicyKind::kReachability &&
         policy.kind != PolicyKind::kBlocking) {
       result.error = "cpr: unsupported policy class " + policy.str();
+      result.errorCode = ErrorCode::kInvalidInput;
       break;
     }
     std::vector<Candidate> candidates;
@@ -251,11 +252,13 @@ CprResult cprRepair(const ConfigTree& tree, const PolicySet& policies) {
     }
     if (!applied) {
       result.error = "cpr: no candidate repairs " + policy.str();
+      result.errorCode = ErrorCode::kUnsat;
       break;
     }
   }
   if (!result.success && result.error.empty()) {
     result.error = "cpr: did not converge";
+    result.errorCode = ErrorCode::kValidationFailed;
   }
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)

@@ -12,6 +12,7 @@
 
 #include "conftree/tree.hpp"
 #include "policy/policy.hpp"
+#include "util/error.hpp"
 
 namespace aed {
 
@@ -19,6 +20,7 @@ struct CprResult {
   bool success = false;
   ConfigTree updated;
   std::string error;
+  ErrorCode errorCode = ErrorCode::kNone;  // classification when !success
   double seconds = 0.0;
   int linesChanged = 0;
 };

@@ -2,7 +2,7 @@
 
 namespace aed {
 
-AedOptions netCompleteOptions(unsigned seed) {
+AedOptions netCompleteOptions(unsigned seed, std::uint64_t timeBudgetMs) {
   AedOptions options;
   options.perDestination = false;          // one monolithic problem
   options.sketch.pruneIrrelevant = false;  // everything stays symbolic
@@ -13,12 +13,15 @@ AedOptions netCompleteOptions(unsigned seed) {
   // validation on lets callers trust the returned tree; repairs stay rare
   // because the hard constraints are the same as AED's.
   options.maxRepairIterations = 5;
+  options.timeBudgetMs = timeBudgetMs;
   return options;
 }
 
 AedResult netCompleteSynthesize(const ConfigTree& tree,
-                                const PolicySet& policies, unsigned seed) {
-  return synthesize(tree, policies, {}, netCompleteOptions(seed));
+                                const PolicySet& policies, unsigned seed,
+                                std::uint64_t timeBudgetMs) {
+  return synthesize(tree, policies, {},
+                    netCompleteOptions(seed, timeBudgetMs));
 }
 
 }  // namespace aed

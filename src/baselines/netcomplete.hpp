@@ -17,13 +17,18 @@
 
 namespace aed {
 
-/// Runs the clean-slate baseline; the result reuses AedResult.
+/// Runs the clean-slate baseline; the result reuses AedResult. The optional
+/// wall-clock budget guards against the monolithic encoding's pathological
+/// solve times (Figure 11b) — on expiry the run degrades or reports
+/// kTimeout instead of hanging a bench.
 AedResult netCompleteSynthesize(const ConfigTree& tree,
                                 const PolicySet& policies,
-                                unsigned seed = 7);
+                                unsigned seed = 7,
+                                std::uint64_t timeBudgetMs = 0);
 
 /// The options the baseline runs with (exposed for benches that want to
 /// tweak a single knob).
-AedOptions netCompleteOptions(unsigned seed = 7);
+AedOptions netCompleteOptions(unsigned seed = 7,
+                              std::uint64_t timeBudgetMs = 0);
 
 }  // namespace aed

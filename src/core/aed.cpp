@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <set>
 #include <thread>
 
@@ -24,6 +25,10 @@ double secondsSince(Clock::time_point start) {
 
 /// One MaxSMT subproblem (the whole problem, or one destination group).
 struct SubResult {
+  SubOutcome outcome = SubOutcome::kError;
+  ErrorCode code = ErrorCode::kNone;
+  std::string detail;
+
   bool sat = false;
   Patch patch;
   std::vector<std::string> satisfied;
@@ -33,12 +38,27 @@ struct SubResult {
   std::size_t deltaCount = 0;
 };
 
+/// Did the subproblem yield a usable (hard-constraint-satisfying) patch?
+bool usable(const SubResult& sub) {
+  return sub.outcome == SubOutcome::kOk || sub.outcome == SubOutcome::kDegraded;
+}
+
+SubResult failedSubResult(SubOutcome outcome, ErrorCode code,
+                          const std::string& detail) {
+  SubResult result;
+  result.outcome = outcome;
+  result.code = code;
+  result.detail = detail;
+  return result;
+}
+
 SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
                           const PolicySet& policies,
                           const std::vector<Objective>& objectives,
                           const AedOptions& options,
                           const std::vector<std::vector<std::string>>&
-                              blockedDeltaSets) {
+                              blockedDeltaSets,
+                          const Deadline& deadline, bool injectUnknown) {
   const auto start = Clock::now();
   SubResult result;
 
@@ -46,6 +66,9 @@ SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
   result.deltaCount = sketch.deltas().size();
 
   SmtSession session;
+  session.setDeadline(deadline);
+  session.setAnytime(options.anytime);
+  if (injectUnknown) session.injectUnknown(1);
   if (options.randomPhaseSeed != 0) {
     session.randomizePhase(options.randomPhaseSeed);
   }
@@ -78,7 +101,37 @@ SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
   const SmtSession::Result check = session.check();
   result.sat = check.sat;
   result.seconds = secondsSince(start);
-  if (!check.sat) return result;
+  if (!check.sat) {
+    if (check.code == ErrorCode::kUnsat) {
+      result.outcome = SubOutcome::kUnsat;
+      result.code = ErrorCode::kUnsat;
+      result.detail = "hard constraints unsatisfiable";
+    } else if (check.code == ErrorCode::kTimeout) {
+      result.outcome = SubOutcome::kTimedOut;
+      result.code = ErrorCode::kTimeout;
+      result.detail = "wall-clock budget exhausted (status " + check.status +
+                      ")";
+    } else {
+      result.outcome = SubOutcome::kError;
+      result.code = ErrorCode::kSolverUnknown;
+      result.detail = "solver answered " + check.status;
+    }
+    return result;
+  }
+
+  switch (check.degradation) {
+    case SmtSession::Degradation::kNone:
+      result.outcome = SubOutcome::kOk;
+      break;
+    case SmtSession::Degradation::kNoMinimality:
+      result.outcome = SubOutcome::kDegraded;
+      result.detail = "degraded: minimality softs dropped";
+      break;
+    case SmtSession::Degradation::kHardOnly:
+      result.outcome = SubOutcome::kDegraded;
+      result.detail = "degraded: hard constraints only";
+      break;
+  }
 
   result.patch = encoder.extractPatch();
   for (const DeltaVar& delta : sketch.deltas()) {
@@ -98,6 +151,18 @@ SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
 }
 
 }  // namespace
+
+const char* subOutcomeName(SubOutcome outcome) {
+  switch (outcome) {
+    case SubOutcome::kOk: return "ok";
+    case SubOutcome::kDegraded: return "degraded";
+    case SubOutcome::kTimedOut: return "timed_out";
+    case SubOutcome::kUnsat: return "unsat";
+    case SubOutcome::kError: return "error";
+    case SubOutcome::kCancelled: return "cancelled";
+  }
+  return "error";
+}
 
 Patch mergePatches(const std::vector<Patch>& patches) {
   Patch merged;
@@ -154,24 +219,88 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
 
   Topology topo = Topology::fromConfigs(tree);
 
+  const Deadline globalDeadline = options.timeBudgetMs != 0
+                                      ? Deadline::after(options.timeBudgetMs)
+                                      : Deadline::unlimited();
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr && options.cancel->stopRequested();
+  };
+
   // ---- partition into subproblems -----------------------------------------
   AedOptions effective = options;
   std::vector<PolicySet> groups;
+  std::vector<std::string> destinations;
   if (options.perDestination) {
     for (auto& [dst, set] : groupByDestination(policies)) {
       groups.push_back(set);
+      destinations.push_back(dst.str());
     }
     // Confine each subproblem to destination-local changes so parallel
     // solutions cannot conflict (§8; see SketchOptions::destinationScoped).
     if (groups.size() > 1) effective.sketch.destinationScoped = true;
   } else if (!policies.empty()) {
     groups.push_back(policies);
+    destinations.push_back("*");
   }
   result.stats.subproblems = groups.size();
 
+  std::vector<SubResult> subResults(groups.size());
+
+  // Fills the outcome report and aggregate stats from subResults; called on
+  // every exit path.
+  const auto finalize = [&](AedResult& res) {
+    res.subproblems.clear();
+    std::set<std::string> violatedLabels;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const SubResult& sub = subResults[i];
+      SubproblemReport report;
+      report.index = i;
+      report.destination = destinations[i];
+      report.policyCount = groups[i].size();
+      report.outcome = sub.outcome;
+      report.code = sub.code;
+      report.detail = sub.detail;
+      report.seconds = sub.seconds;
+      res.subproblems.push_back(std::move(report));
+
+      if (sub.outcome == SubOutcome::kDegraded) {
+        ++res.stats.degradedSubproblems;
+      } else if (sub.outcome != SubOutcome::kOk) {
+        ++res.stats.failedSubproblems;
+      }
+      if (sub.outcome != SubOutcome::kOk) res.degraded = true;
+      for (const std::string& label : sub.violated) {
+        violatedLabels.insert(label);
+      }
+      res.stats.deltaCount += sub.deltaCount;
+      res.stats.maxSubproblemSeconds =
+          std::max(res.stats.maxSubproblemSeconds, sub.seconds);
+      res.stats.sumSubproblemSeconds += sub.seconds;
+    }
+    std::set<std::string> satisfiedLabels;
+    for (const SubResult& sub : subResults) {
+      for (const std::string& label : sub.satisfied) {
+        if (violatedLabels.count(label) == 0) satisfiedLabels.insert(label);
+      }
+    }
+    res.satisfiedObjectives.assign(satisfiedLabels.begin(),
+                                   satisfiedLabels.end());
+    res.violatedObjectives.assign(violatedLabels.begin(),
+                                  violatedLabels.end());
+    res.stats.totalSeconds = secondsSince(start);
+  };
+
+  const auto fail = [&](ErrorCode code,
+                        const std::string& message) -> AedResult&& {
+    result.success = false;
+    result.error = message;
+    result.errorCode = code;
+    finalize(result);
+    return std::move(result);
+  };
+
   // ---- solve (with simulator-validated repair rounds) ---------------------
   std::vector<std::vector<std::string>> blocked;  // shared across rounds
-  std::vector<SubResult> subResults(groups.size());
   std::vector<bool> needsSolve(groups.size(), true);
 
   const std::size_t workers =
@@ -186,41 +315,179 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       if (needsSolve[i]) pending.push_back(i);
     }
     if (pending.empty()) break;
+
+    // Split the remaining global budget across the queued subproblems: each
+    // of the ceil(pending/workers) sequential batches gets an equal share.
+    std::uint64_t perSubproblemMs = Deadline::kForeverMs;
+    if (!globalDeadline.isUnlimited()) {
+      const std::size_t lanes = std::min<std::size_t>(
+          std::max<std::size_t>(1, workers), pending.size());
+      const std::size_t batches = (pending.size() + lanes - 1) / lanes;
+      perSubproblemMs =
+          std::max<std::uint64_t>(1, globalDeadline.remainingMillis() /
+                                         std::max<std::size_t>(1, batches));
+    }
+
     // Workers write only their own subResults slot; needsSolve (bit-packed
     // vector<bool>) is updated on this thread afterwards.
-    const auto solveOne = [&](std::size_t i) {
-      subResults[i] = solveSubproblem(tree, topo, groups[i], objectives,
-                                      effective, blocked);
+    //
+    // Failure classification: infrastructure failures (timeouts, solver
+    // exceptions, fault injection, cancellation) are recorded in the
+    // subproblem's slot so one poisoned destination never discards sibling
+    // work. Deterministic input/internal AedErrors (malformed policies,
+    // invariant violations) still propagate to the caller — but only after
+    // every in-flight sibling has been collected, so nothing leaks or races
+    // shared state during unwinding.
+    const auto isolatable = [](ErrorCode code) {
+      return code == ErrorCode::kSubproblemFailed ||
+             code == ErrorCode::kTimeout ||
+             code == ErrorCode::kSolverUnknown ||
+             code == ErrorCode::kCancelled;
     };
+    const auto solveOne = [&](std::size_t i) {
+      try {
+        const FaultInjection& fault = options.faultInjection;
+        const bool injected =
+            fault.kind != FaultInjection::Kind::kNone &&
+            fault.subproblem >= 0 &&
+            static_cast<std::size_t>(fault.subproblem) == i;
+        if (injected && fault.kind == FaultInjection::Kind::kThrow) {
+          throw AedError(ErrorCode::kSubproblemFailed,
+                         "fault injection: subproblem " + std::to_string(i) +
+                             " threw");
+        }
+        if (injected && fault.kind == FaultInjection::Kind::kDelay) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(fault.delayMs));
+        }
+        if (cancelled()) {
+          subResults[i] = failedSubResult(SubOutcome::kCancelled,
+                                          ErrorCode::kCancelled,
+                                          "cancelled before solving");
+          return;
+        }
+        Deadline deadline = globalDeadline;
+        if (!globalDeadline.isUnlimited()) {
+          deadline = Deadline::after(perSubproblemMs).min(globalDeadline);
+        }
+        if (options.subproblemTimeoutMs != 0) {
+          deadline = Deadline::after(options.subproblemTimeoutMs).min(deadline);
+        }
+        subResults[i] = solveSubproblem(
+            tree, topo, groups[i], objectives, effective, blocked, deadline,
+            injected && fault.kind == FaultInjection::Kind::kUnknown);
+      } catch (const AedError& e) {
+        if (!isolatable(e.code())) throw;  // deterministic: fail the run
+        const SubOutcome outcome = e.code() == ErrorCode::kTimeout
+                                       ? SubOutcome::kTimedOut
+                                   : e.code() == ErrorCode::kCancelled
+                                       ? SubOutcome::kCancelled
+                                       : SubOutcome::kError;
+        subResults[i] = failedSubResult(outcome, e.code(), e.what());
+      } catch (const std::exception& e) {
+        // Covers z3::exception: solver infrastructure trouble, isolated.
+        subResults[i] = failedSubResult(
+            SubOutcome::kError, ErrorCode::kSubproblemFailed, e.what());
+      }
+    };
+    std::exception_ptr fatal;
     if (options.perDestination && pending.size() > 1 && workers > 1) {
       ThreadPool pool(std::min(workers, pending.size()));
-      std::vector<std::future<void>> futures;
+      std::vector<std::pair<std::size_t, std::future<void>>> futures;
+      futures.reserve(pending.size());
       for (std::size_t i : pending) {
-        futures.push_back(pool.submit([&solveOne, i] { solveOne(i); }));
+        futures.emplace_back(i, pool.submit([&solveOne, i] { solveOne(i); }));
       }
-      for (auto& future : futures) future.get();
+      // Collect every future individually: a throwing task must not abandon
+      // its in-flight siblings or skip their results.
+      for (auto& [i, future] : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!fatal) fatal = std::current_exception();
+          subResults[i] = failedSubResult(SubOutcome::kError,
+                                          ErrorCode::kInternal,
+                                          "subproblem threw");
+        }
+      }
     } else {
-      for (std::size_t i : pending) solveOne(i);
+      for (std::size_t i : pending) {
+        try {
+          solveOne(i);
+        } catch (...) {
+          if (!fatal) fatal = std::current_exception();
+          subResults[i] = failedSubResult(SubOutcome::kError,
+                                          ErrorCode::kInternal,
+                                          "subproblem threw");
+        }
+      }
     }
+    if (fatal) std::rethrow_exception(fatal);
     for (std::size_t i : pending) needsSolve[i] = false;
 
-    // Any unsat subproblem is fatal: the policies conflict (§11 "SMT output
-    // for special cases").
+    // Unsat is fatal for the whole run: the policies conflict (§11 "SMT
+    // output for special cases"), and a partial patch would silently drop a
+    // policy the operator asked for.
     for (std::size_t i = 0; i < groups.size(); ++i) {
-      if (!subResults[i].sat) {
-        result.error =
-            "unsatisfiable: the policies cannot all be implemented "
-            "(subproblem " +
-            std::to_string(i) + ", " + std::to_string(groups[i].size()) +
-            " policies)";
-        result.stats.totalSeconds = secondsSince(start);
-        return result;
+      if (subResults[i].outcome == SubOutcome::kUnsat) {
+        return fail(ErrorCode::kUnsat,
+                    "unsatisfiable: the policies cannot all be implemented "
+                    "(subproblem " +
+                        std::to_string(i) + ", " +
+                        std::to_string(groups[i].size()) + " policies)");
       }
     }
 
-    // Merge and validate against the concrete simulator.
+    // Fault isolation: infrastructure failures (timeout, exception, solver
+    // unknown, cancellation) are reported per subproblem; the survivors'
+    // patches are still merged. Only when nothing survived is the whole run
+    // a failure.
+    std::size_t usableCount = 0;
+    for (const SubResult& sub : subResults) {
+      if (usable(sub)) ++usableCount;
+    }
+    if (usableCount == 0 && !groups.empty()) {
+      const auto firstWith = [&](SubOutcome outcome) -> const SubResult* {
+        for (const SubResult& sub : subResults) {
+          if (sub.outcome == outcome) return &sub;
+        }
+        return nullptr;
+      };
+      if (firstWith(SubOutcome::kCancelled) != nullptr) {
+        return fail(ErrorCode::kCancelled, "cancelled by the caller");
+      }
+      if (firstWith(SubOutcome::kTimedOut) != nullptr) {
+        return fail(ErrorCode::kTimeout,
+                    "time budget exhausted before any subproblem was solved");
+      }
+      const SubResult* errored = firstWith(SubOutcome::kError);
+      return fail(errored != nullptr ? errored->code : ErrorCode::kInternal,
+                  "all subproblems failed" +
+                      (errored != nullptr && !errored->detail.empty()
+                           ? " (first: " + errored->detail + ")"
+                           : std::string()));
+    }
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (!usable(subResults[i])) {
+        logWarn() << "subproblem " << i << " (" << destinations[i]
+                  << ") failed: " << subOutcomeName(subResults[i].outcome)
+                  << (subResults[i].detail.empty()
+                          ? ""
+                          : " — " + subResults[i].detail);
+      }
+    }
+
+    // Merge the surviving patches and validate against the concrete
+    // simulator. Policies owned by failed subproblems are excluded from
+    // validation — they are already reported as unsatisfied.
     std::vector<Patch> patches;
-    for (const SubResult& sub : subResults) patches.push_back(sub.patch);
+    PolicySet survivingPolicies;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (!usable(subResults[i])) continue;
+      patches.push_back(subResults[i].patch);
+      survivingPolicies.insert(survivingPolicies.end(), groups[i].begin(),
+                               groups[i].end());
+    }
     Patch merged = mergePatches(patches);
     ConfigTree updated = merged.applied(tree);
 
@@ -230,7 +497,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       break;
     }
     Simulator sim(updated);
-    const PolicySet violated = sim.violations(policies);
+    const PolicySet violated = sim.violations(survivingPolicies);
     if (violated.empty()) {
       result.patch = std::move(merged);
       result.updated = std::move(updated);
@@ -238,12 +505,20 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     }
     ++result.stats.repairRounds;
     if (round == options.maxRepairIterations) {
-      result.error = "validation failed after repair rounds: " +
-                     std::to_string(violated.size()) +
-                     " policies still violated (first: " + violated[0].str() +
-                     ")";
-      result.stats.totalSeconds = secondsSince(start);
-      return result;
+      return fail(ErrorCode::kValidationFailed,
+                  "validation failed after repair rounds: " +
+                      std::to_string(violated.size()) +
+                      " policies still violated (first: " + violated[0].str() +
+                      ")");
+    }
+    if (cancelled()) {
+      return fail(ErrorCode::kCancelled, "cancelled during repair");
+    }
+    if (globalDeadline.expired()) {
+      return fail(ErrorCode::kTimeout,
+                  "time budget exhausted during repair: " +
+                      std::to_string(violated.size()) +
+                      " policies still violated");
     }
     // Block the delta sets of the subproblems owning the violated policies
     // and re-solve just those.
@@ -252,6 +527,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     for (const Policy& policy : violated) {
       bool blamed = false;
       for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (!usable(subResults[i])) continue;
         const bool owns =
             std::any_of(groups[i].begin(), groups[i].end(),
                         [&policy](const Policy& p) {
@@ -264,8 +540,9 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       }
       if (!blamed) {
         // The owning subproblem made no changes: another group's deltas
-        // broke this policy. Block every non-empty group.
+        // broke this policy. Block every non-empty surviving group.
         for (std::size_t i = 0; i < groups.size(); ++i) {
+          if (!usable(subResults[i])) continue;
           if (subResults[i].activeDeltas.empty()) continue;
           blocked.push_back(subResults[i].activeDeltas);
           needsSolve[i] = true;
@@ -273,37 +550,15 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         }
       }
       if (!blamed) {
-        result.error =
-            "model/simulator divergence with an empty patch for " +
-            policy.str();
-        result.stats.totalSeconds = secondsSince(start);
-        return result;
+        return fail(ErrorCode::kInternal,
+                    "model/simulator divergence with an empty patch for " +
+                        policy.str());
       }
     }
   }
 
   // ---- aggregate stats and objective reports -------------------------------
-  std::set<std::string> violatedLabels;
-  for (const SubResult& sub : subResults) {
-    for (const std::string& label : sub.violated) {
-      violatedLabels.insert(label);
-    }
-    result.stats.deltaCount += sub.deltaCount;
-    result.stats.maxSubproblemSeconds =
-        std::max(result.stats.maxSubproblemSeconds, sub.seconds);
-    result.stats.sumSubproblemSeconds += sub.seconds;
-  }
-  std::set<std::string> satisfiedLabels;
-  for (const SubResult& sub : subResults) {
-    for (const std::string& label : sub.satisfied) {
-      if (violatedLabels.count(label) == 0) satisfiedLabels.insert(label);
-    }
-  }
-  result.satisfiedObjectives.assign(satisfiedLabels.begin(),
-                                    satisfiedLabels.end());
-  result.violatedObjectives.assign(violatedLabels.begin(),
-                                   violatedLabels.end());
-  result.stats.totalSeconds = secondsSince(start);
+  finalize(result);
   result.success = true;
   return result;
 }

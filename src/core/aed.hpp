@@ -18,8 +18,18 @@
 // iterative simulator does not converge to, e.g. mutual redistribution
 // cycles), the offending delta combination is blocked and the affected
 // subproblem re-solved, up to maxRepairIterations times.
+//
+// Resilience (the failure model; see DESIGN.md "Failure model & degradation
+// ladder"): subproblems are fault-isolated — one destination that throws,
+// times out, or goes unknown never discards sibling work. A global
+// wall-clock budget (timeBudgetMs) is split across queued subproblems and
+// wired to Z3's timeout; under pressure each subproblem degrades through an
+// anytime ladder (full MaxSMT → user objectives only → hard constraints
+// only) before being reported as failed. Per-subproblem outcomes are
+// returned in AedResult::subproblems.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,8 +39,28 @@
 #include "objectives/objective.hpp"
 #include "policy/policy.hpp"
 #include "sketch/sketch.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
 
 namespace aed {
+
+/// Deterministic fault injection for tests and chaos benches: poison the
+/// subproblem with index `subproblem` (in destination order, as reported by
+/// AedResult::subproblems) every time it is solved.
+struct FaultInjection {
+  enum class Kind {
+    kNone,     // no injection
+    kThrow,    // the subproblem throws AedError(kSubproblemFailed)
+    kDelay,    // the subproblem sleeps delayMs before solving
+    kUnknown,  // the full MaxSMT check reports "unknown", forcing the
+               // degradation ladder to run for real
+  };
+  Kind kind = Kind::kNone;
+  /// Index of the subproblem to poison (destination order).
+  int subproblem = 0;
+  /// Sleep duration for Kind::kDelay.
+  std::uint64_t delayMs = 50;
+};
 
 struct AedOptions {
   SketchOptions sketch;
@@ -56,10 +86,51 @@ struct AedOptions {
   bool validateWithSimulator = true;
   int maxRepairIterations = 3;
 
+  /// Global wall-clock budget in milliseconds for the whole run, split
+  /// across queued subproblems and wired to Z3's timeout parameter.
+  /// 0 = unlimited.
+  std::uint64_t timeBudgetMs = 0;
+  /// Additional per-subproblem solver cap in milliseconds. 0 = unlimited
+  /// (the split of timeBudgetMs still applies).
+  std::uint64_t subproblemTimeoutMs = 0;
+  /// Anytime mode: on timeout/unknown fall through the degradation ladder
+  /// (drop minimality softs, then hard-constraints-only SAT) instead of
+  /// failing the subproblem outright.
+  bool anytime = true;
+  /// Cooperative cancellation: when set and triggered, the engine stops
+  /// between subproblems and repair iterations and reports kCancelled.
+  CancelTokenPtr cancel;
+  /// Deterministic fault injection (tests only).
+  FaultInjection faultInjection;
+
   /// Non-zero: randomize the solver's decision phase with this seed. Used
   /// only by the NetComplete-like clean-slate baseline (see
   /// baselines/netcomplete.hpp); AED itself keeps Z3's defaults.
   unsigned randomPhaseSeed = 0;
+};
+
+/// Per-subproblem verdict in AedResult::subproblems.
+enum class SubOutcome {
+  kOk = 0,    // solved at the full MaxSMT optimum
+  kDegraded,  // solved, but on a lower rung of the degradation ladder
+  kTimedOut,  // wall-clock budget expired before any rung produced a model
+  kUnsat,     // hard constraints unsatisfiable: the policies conflict
+  kError,     // the subproblem threw or the solver answered unknown
+  kCancelled, // the run was cancelled before this subproblem was solved
+};
+
+/// Stable lowercase identifier, e.g. "timed_out".
+const char* subOutcomeName(SubOutcome outcome);
+
+/// One entry per subproblem (destination group), in destination order.
+struct SubproblemReport {
+  std::size_t index = 0;
+  std::string destination;  // destination prefix, or "*" for monolithic
+  std::size_t policyCount = 0;
+  SubOutcome outcome = SubOutcome::kOk;
+  ErrorCode code = ErrorCode::kNone;
+  std::string detail;  // human-readable: exception text, ladder rung, ...
+  double seconds = 0.0;
 };
 
 struct AedStats {
@@ -67,16 +138,28 @@ struct AedStats {
   double maxSubproblemSeconds = 0.0;  // critical path under parallelism
   double sumSubproblemSeconds = 0.0;  // total solver work (sequential cost)
   std::size_t subproblems = 0;
+  std::size_t degradedSubproblems = 0;  // solved below the MaxSMT optimum
+  std::size_t failedSubproblems = 0;    // timed out / unsat / error / cancelled
   std::size_t deltaCount = 0;
   std::size_t repairRounds = 0;
 };
 
 struct AedResult {
+  /// True when a simulator-validated patch was produced for at least one
+  /// subproblem (all of them unless `degraded` is set).
   bool success = false;
-  std::string error;  // set when !success
+  /// True when any subproblem fell down the degradation ladder or failed;
+  /// the patch covers the surviving destinations only. Per-subproblem
+  /// details are in `subproblems`.
+  bool degraded = false;
+  std::string error;        // set when !success
+  ErrorCode errorCode = ErrorCode::kNone;  // classification when !success
 
   Patch patch;
   ConfigTree updated;  // tree after applying the patch
+
+  /// Per-subproblem outcome report, in destination order.
+  std::vector<SubproblemReport> subproblems;
 
   /// Desugared objective labels, aggregated across subproblems: an
   /// objective counts as satisfied only if no subproblem violated it.

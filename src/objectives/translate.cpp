@@ -155,7 +155,8 @@ std::vector<std::string> addObjectives(
 void addPerDeltaMinimality(Encoder& encoder, unsigned weight) {
   for (const DeltaVar& delta : encoder.sketch().deltas()) {
     encoder.session().addSoft(!encoder.deltaActive(delta), weight,
-                              "min-change:" + delta.name);
+                              "min-change:" + delta.name,
+                              SmtSession::SoftKind::kMinimality);
   }
 }
 

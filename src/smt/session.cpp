@@ -1,6 +1,7 @@
 #include "smt/session.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/log.hpp"
 
@@ -41,10 +42,10 @@ z3::expr SmtSession::freshInt(const std::string& stem) {
 }
 
 std::size_t SmtSession::addSoft(const z3::expr& constraint, unsigned weight,
-                                const std::string& label) {
+                                const std::string& label, SoftKind kind) {
   opt_.add_soft(constraint, weight);
   softExprs_.push_back(constraint);
-  softInfos_.push_back(SoftInfo{label, weight});
+  softInfos_.push_back(SoftInfo{label, weight, kind});
   return softInfos_.size() - 1;
 }
 
@@ -61,9 +62,46 @@ void SmtSession::randomizePhase(unsigned seed) {
   }
 }
 
+template <typename Solver>
+bool SmtSession::applyBudget(Solver& solver) {
+  if (deadline_.isUnlimited()) return true;
+  const std::uint64_t remaining = deadline_.remainingMillis();
+  if (remaining == 0) return false;
+  const unsigned ms = static_cast<unsigned>(std::min<std::uint64_t>(
+      remaining, std::numeric_limits<unsigned>::max()));
+  try {
+    z3::params params(ctx_);
+    params.set("timeout", ms);
+    solver.set(params);
+  } catch (const z3::exception&) {
+    // If the timeout parameter is rejected, the deadline is still enforced
+    // between ladder rungs; the individual query just cannot be interrupted.
+  }
+  return true;
+}
+
+void SmtSession::reportObjectives(Result& result) const {
+  for (std::size_t i = 0; i < softExprs_.size(); ++i) {
+    if (model_->eval(softExprs_[i], true).is_true()) {
+      result.satisfiedObjectives.push_back(softInfos_[i].label);
+    } else {
+      result.violatedObjectives.push_back(softInfos_[i].label);
+    }
+  }
+}
+
 SmtSession::Result SmtSession::check() {
   Result result;
-  z3::check_result status = opt_.check();
+
+  // ---- rung 1: full MaxSMT ------------------------------------------------
+  z3::check_result status = z3::unknown;
+  bool budgetLeft = applyBudget(opt_);
+  if (injectUnknown_ > 0) {
+    --injectUnknown_;
+    logWarn() << "fault injection: forcing an unknown MaxSMT verdict";
+  } else if (budgetLeft) {
+    status = opt_.check();
+  }
 
   // Z3 4.8.x's default MaxSAT engine (maxres) can report bogus UNSAT on
   // hard constraints that mix booleans with integer arithmetic (observed on
@@ -75,6 +113,7 @@ SmtSession::Result SmtSession::check() {
   if (status == z3::unsat) {
     z3::solver plain(ctx_);
     for (const z3::expr& assertion : opt_.assertions()) plain.add(assertion);
+    applyBudget(plain);
     if (plain.check() == z3::sat) {
       logWarn() << "optimize reported unsat but the hard constraints are "
                    "satisfiable; retrying with the wmax engine";
@@ -82,6 +121,7 @@ SmtSession::Result SmtSession::check() {
         z3::params params(ctx_);
         params.set("maxsat_engine", ctx_.str_symbol("wmax"));
         opt_.set(params);
+        applyBudget(opt_);
         status = opt_.check();
       } catch (const z3::exception&) {
         status = z3::unknown;
@@ -91,32 +131,100 @@ SmtSession::Result SmtSession::check() {
         model_ = plain.get_model();
         result.sat = true;
         result.status = "sat";
-        for (std::size_t i = 0; i < softExprs_.size(); ++i) {
-          if (model_->eval(softExprs_[i], true).is_true()) {
-            result.satisfiedObjectives.push_back(softInfos_[i].label);
-          } else {
-            result.violatedObjectives.push_back(softInfos_[i].label);
-          }
-        }
+        result.degradation = Degradation::kHardOnly;
+        reportObjectives(result);
         return result;
       }
     }
   }
 
-  result.sat = status == z3::sat;
-  result.status = status == z3::sat     ? "sat"
-                  : status == z3::unsat ? "unsat"
-                                        : "unknown";
-  if (!result.sat) return result;
-  model_ = opt_.get_model();
-  for (std::size_t i = 0; i < softExprs_.size(); ++i) {
-    const z3::expr value = model_->eval(softExprs_[i], true);
-    if (value.is_true()) {
-      result.satisfiedObjectives.push_back(softInfos_[i].label);
-    } else {
-      result.violatedObjectives.push_back(softInfos_[i].label);
+  if (status == z3::sat) {
+    result.sat = true;
+    result.status = "sat";
+    model_ = opt_.get_model();
+    reportObjectives(result);
+    return result;
+  }
+  if (status == z3::unsat) {
+    result.status = "unsat";
+    result.code = ErrorCode::kUnsat;
+    return result;
+  }
+
+  // The full query timed out or went unknown. Without anytime mode, report
+  // the raw verdict.
+  if (!anytime_) {
+    result.status = budgetLeft ? "unknown" : "timeout";
+    result.code =
+        budgetLeft ? ErrorCode::kSolverUnknown : ErrorCode::kTimeout;
+    return result;
+  }
+
+  // ---- rung 2: drop the minimality softs, keep user objectives ------------
+  const bool hasMinimality =
+      std::any_of(softInfos_.begin(), softInfos_.end(), [](const SoftInfo& s) {
+        return s.kind == SoftKind::kMinimality;
+      });
+  const bool hasUser =
+      std::any_of(softInfos_.begin(), softInfos_.end(), [](const SoftInfo& s) {
+        return s.kind == SoftKind::kUser;
+      });
+  if (hasMinimality && hasUser && !deadline_.expired()) {
+    logWarn() << "MaxSMT timed out/unknown; retrying without minimality softs";
+    try {
+      z3::optimize reduced(ctx_);
+      for (const z3::expr& assertion : opt_.assertions()) {
+        reduced.add(assertion);
+      }
+      for (std::size_t i = 0; i < softExprs_.size(); ++i) {
+        if (softInfos_[i].kind == SoftKind::kUser) {
+          reduced.add_soft(softExprs_[i], softInfos_[i].weight);
+        }
+      }
+      if (applyBudget(reduced) && reduced.check() == z3::sat) {
+        result.sat = true;
+        result.status = "sat";
+        result.degradation = Degradation::kNoMinimality;
+        model_ = reduced.get_model();
+        reportObjectives(result);
+        return result;
+      }
+    } catch (const z3::exception& e) {
+      logWarn() << "reduced MaxSMT retry failed: " << e.msg();
     }
   }
+
+  // ---- rung 3: hard constraints only (plain SAT) --------------------------
+  if (!deadline_.expired()) {
+    logWarn() << "falling back to hard-constraints-only SAT";
+    try {
+      z3::solver plain(ctx_);
+      for (const z3::expr& assertion : opt_.assertions()) plain.add(assertion);
+      if (applyBudget(plain)) {
+        const z3::check_result plainStatus = plain.check();
+        if (plainStatus == z3::sat) {
+          result.sat = true;
+          result.status = "sat";
+          result.degradation = Degradation::kHardOnly;
+          model_ = plain.get_model();
+          reportObjectives(result);
+          return result;
+        }
+        if (plainStatus == z3::unsat) {
+          result.status = "unsat";
+          result.code = ErrorCode::kUnsat;
+          return result;
+        }
+      }
+    } catch (const z3::exception& e) {
+      logWarn() << "hard-constraints-only fallback failed: " << e.msg();
+    }
+  }
+
+  // ---- rung 4: give up -----------------------------------------------------
+  const bool expired = deadline_.expired();
+  result.status = expired ? "timeout" : "unknown";
+  result.code = expired ? ErrorCode::kTimeout : ErrorCode::kSolverUnknown;
   return result;
 }
 

@@ -7,6 +7,17 @@
 // can refer to the same delta variables by name, and a registry of soft
 // constraints so callers can report which management objectives were
 // satisfied by the chosen model.
+//
+// Resilience: a session can be given a wall-clock Deadline (wired to Z3's
+// `timeout` parameter) and, in anytime mode, check() falls back through a
+// degradation ladder when the full MaxSMT query times out or goes unknown:
+//   1. full MaxSMT (user objectives + minimality softs)     → Degradation::kNone
+//   2. MaxSMT with the minimality softs dropped             → kNoMinimality
+//   3. plain SAT over the hard constraints only             → kHardOnly
+//   4. give up: timed out (deadline expired) or unknown
+// Every rung still satisfies the hard policy constraints, so a
+// policy-compliant (if less manageable) patch is returned whenever Z3 can
+// decide satisfiability at all within the budget.
 #pragma once
 
 #include <z3++.h>
@@ -16,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace aed {
@@ -55,14 +67,21 @@ class SmtSession {
   /// Adds a hard constraint.
   void addHard(const z3::expr& constraint) { opt_.add(constraint); }
 
+  /// Classification of a soft constraint for the degradation ladder: user
+  /// objectives survive one rung longer than the internal per-delta
+  /// minimality pressure.
+  enum class SoftKind { kUser, kMinimality };
+
   /// Adds a weighted soft constraint labeled with an objective name.
   /// Returns the index of the registered soft constraint.
   std::size_t addSoft(const z3::expr& constraint, unsigned weight,
-                      const std::string& label);
+                      const std::string& label,
+                      SoftKind kind = SoftKind::kUser);
 
   struct SoftInfo {
     std::string label;
     unsigned weight = 1;
+    SoftKind kind = SoftKind::kUser;
   };
   const std::vector<SoftInfo>& softConstraints() const { return softInfos_; }
 
@@ -73,20 +92,50 @@ class SmtSession {
   /// artificially incremental.
   void randomizePhase(unsigned seed);
 
+  // ---- resilience ----------------------------------------------------------
+
+  /// Caps all subsequent check() work at this wall-clock deadline (the
+  /// remaining budget is passed to Z3 as its `timeout` parameter, re-read
+  /// before each ladder rung). Unlimited by default.
+  void setDeadline(const Deadline& deadline) { deadline_ = deadline; }
+
+  /// Enables the degradation ladder (on by default). When disabled, check()
+  /// reports the raw first-rung verdict.
+  void setAnytime(bool anytime) { anytime_ = anytime; }
+
+  /// Deterministic fault injection for tests: the next `count` full MaxSMT
+  /// checks report "unknown" without calling Z3, forcing check() down the
+  /// degradation ladder (which still runs for real).
+  void injectUnknown(int count) { injectUnknown_ = count; }
+
   // ---- solving --------------------------------------------------------------
+
+  /// How far down the ladder check() had to fall to produce a model.
+  enum class Degradation {
+    kNone = 0,        // full MaxSMT optimum
+    kNoMinimality,    // minimality softs dropped, user objectives kept
+    kHardOnly,        // hard constraints only (plain SAT, nothing optimized)
+  };
 
   struct Result {
     bool sat = false;
-    /// Raw solver verdict: "sat", "unsat", or "unknown". A solver that
-    /// answers "unknown" must never be treated as a proof of
+    /// Raw solver verdict: "sat", "unsat", "unknown", or "timeout". A solver
+    /// that answers "unknown" must never be treated as a proof of
     /// unsatisfiability; callers distinguishing the two read this field.
+    /// "timeout" means the wall-clock deadline expired before any rung of
+    /// the ladder produced a verdict.
     std::string status = "unknown";
+    /// Ladder rung that produced the model (meaningful only when sat).
+    Degradation degradation = Degradation::kNone;
+    /// Structured failure classification when !sat.
+    ErrorCode code = ErrorCode::kNone;
     /// Labels of soft constraints satisfied / violated by the model.
     std::vector<std::string> satisfiedObjectives;
     std::vector<std::string> violatedObjectives;
   };
 
-  /// Runs the MaxSMT query. On sat, the model is retained for eval calls.
+  /// Runs the MaxSMT query (with the degradation ladder in anytime mode).
+  /// On sat, the model is retained for eval calls.
   Result check();
 
   /// Evaluates a boolean expression in the last model (model completion on).
@@ -98,12 +147,21 @@ class SmtSession {
   std::size_t numVars() const { return vars_.size(); }
 
  private:
+  /// Applies the remaining budget as a Z3 timeout; false if already expired.
+  template <typename Solver>
+  bool applyBudget(Solver& solver);
+  /// Fills satisfied/violated objective labels from the current model.
+  void reportObjectives(Result& result) const;
+
   z3::context ctx_;
   z3::optimize opt_;
   std::map<std::string, z3::expr> vars_;
   std::vector<z3::expr> softExprs_;
   std::vector<SoftInfo> softInfos_;
   std::optional<z3::model> model_;
+  Deadline deadline_;
+  bool anytime_ = true;
+  int injectUnknown_ = 0;
   int freshCounter_ = 0;
 };
 

@@ -1,0 +1,367 @@
+// Resilience layer: deadlines, anytime degradation, fault-isolated parallel
+// solving, and cooperative cancellation. Uses AedOptions::faultInjection to
+// deterministically poison one subproblem and proves the siblings survive.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "conftree/parser.hpp"
+#include "core/aed.hpp"
+#include "fixtures.hpp"
+#include "simulate/simulator.hpp"
+#include "util/deadline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aed {
+namespace {
+
+using aed::testing::cls;
+using aed::testing::figure1ConfigText;
+
+PolicySet figure1AllPolicies() {
+  return {aed::testing::figure1P1(), aed::testing::figure1P2(),
+          aed::testing::figure1P3()};
+}
+
+// The figure-1 policy set decomposes into multiple destination groups; find
+// the report for a given outcome.
+const SubproblemReport* findOutcome(const AedResult& result,
+                                    SubOutcome outcome) {
+  for (const SubproblemReport& report : result.subproblems) {
+    if (report.outcome == outcome) return &report;
+  }
+  return nullptr;
+}
+
+std::size_t countOutcome(const AedResult& result, SubOutcome outcome) {
+  std::size_t n = 0;
+  for (const SubproblemReport& report : result.subproblems) {
+    if (report.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+// --------------------------------------------------------------- Deadline
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_TRUE(d.isUnlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remainingMillis(), Deadline::kForeverMs);
+}
+
+TEST(Deadline, ZeroBudgetIsExpired) {
+  const Deadline d = Deadline::after(0);
+  EXPECT_FALSE(d.isUnlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remainingMillis(), 0u);
+}
+
+TEST(Deadline, CountsDown) {
+  const Deadline d = Deadline::after(60000);
+  EXPECT_FALSE(d.expired());
+  const std::uint64_t remaining = d.remainingMillis();
+  EXPECT_GT(remaining, 0u);
+  EXPECT_LE(remaining, 60000u);
+}
+
+TEST(Deadline, MinPicksEarlier) {
+  const Deadline near = Deadline::after(10);
+  const Deadline far = Deadline::after(60000);
+  EXPECT_LE(near.min(far).remainingMillis(), near.remainingMillis());
+  EXPECT_LE(far.min(near).remainingMillis(), near.remainingMillis());
+  EXPECT_FALSE(Deadline::unlimited().min(near).isUnlimited());
+  EXPECT_FALSE(near.min(Deadline::unlimited()).isUnlimited());
+}
+
+TEST(CancelToken, StickyStop) {
+  CancelToken token;
+  EXPECT_FALSE(token.stopRequested());
+  token.requestStop();
+  EXPECT_TRUE(token.stopRequested());
+  token.requestStop();
+  EXPECT_TRUE(token.stopRequested());
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ExceptionCarryingTaskDoesNotPoisonSiblings) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i, &completed] {
+      if (i == 5) throw std::runtime_error("task 5 exploded");
+      ++completed;
+    }));
+  }
+  int thrown = 0;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (const std::runtime_error&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 1);
+  EXPECT_EQ(completed.load(), 15);
+
+  // The pool stays usable after carrying an exception.
+  auto after = pool.submit([] { return 42; });
+  EXPECT_EQ(after.get(), 42);
+}
+
+// --------------------------------------------------- fault-isolated solving
+
+TEST(Resilience, ThrowingSubproblemDoesNotAbortSiblings) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kThrow;
+  options.faultInjection.subproblem = 0;
+  const AedResult result = synthesize(tree, policies, {}, options);
+
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_TRUE(result.degraded);
+  ASSERT_GE(result.subproblems.size(), 2u);
+  const SubproblemReport* failed = findOutcome(result, SubOutcome::kError);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->index, 0u);
+  EXPECT_EQ(failed->code, ErrorCode::kSubproblemFailed);
+  EXPECT_NE(failed->detail.find("fault injection"), std::string::npos);
+  EXPECT_EQ(countOutcome(result, SubOutcome::kOk),
+            result.subproblems.size() - 1);
+  EXPECT_EQ(result.stats.failedSubproblems, 1u);
+
+  // The survivors' policies hold on the returned tree.
+  Simulator sim(result.updated);
+  for (const Policy& policy : policies) {
+    const SubproblemReport& own = result.subproblems[0];
+    if (policy.cls.dst.str() == own.destination) continue;  // poisoned group
+    EXPECT_TRUE(sim.checkPolicy(policy)) << policy.str();
+  }
+}
+
+TEST(Resilience, UnknownVerdictFallsDownDegradationLadder) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kUnknown;
+  options.faultInjection.subproblem = 0;
+  const AedResult result = synthesize(tree, policies, {}, options);
+
+  // The poisoned subproblem's full MaxSMT check reports unknown; the ladder
+  // (drop minimality, then hard-only SAT) still produces a valid model, so
+  // the subproblem lands on "degraded" rather than failing.
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_TRUE(result.degraded);
+  const SubproblemReport* degraded = findOutcome(result, SubOutcome::kDegraded);
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->index, 0u);
+  EXPECT_NE(degraded->detail.find("degraded"), std::string::npos);
+  EXPECT_EQ(result.stats.degradedSubproblems, 1u);
+  EXPECT_EQ(result.stats.failedSubproblems, 0u);
+
+  // Degraded still means policy-compliant: every policy holds.
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(policies).empty());
+}
+
+TEST(Resilience, DelayInjectionStillSolvesEverything) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kDelay;
+  options.faultInjection.subproblem = 0;
+  options.faultInjection.delayMs = 30;
+  const AedResult result = synthesize(tree, policies, {}, options);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(countOutcome(result, SubOutcome::kOk), result.subproblems.size());
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(policies).empty());
+}
+
+// ------------------------------------------------------------- time budgets
+
+TEST(Resilience, OneMillisecondBudgetDegradesInsteadOfHanging) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.timeBudgetMs = 1;
+  const AedResult result = synthesize(tree, policies, {}, options);
+
+  // Either the tiny problems solved inside the budget, or the run reports an
+  // explicit timeout — it must not hang or throw, and any patch returned
+  // must be policy-compliant for the destinations it claims.
+  if (result.success) {
+    Simulator sim(result.updated);
+    for (const SubproblemReport& report : result.subproblems) {
+      if (report.outcome != SubOutcome::kOk &&
+          report.outcome != SubOutcome::kDegraded) {
+        continue;
+      }
+      for (const Policy& policy : policies) {
+        if (policy.cls.dst.str() != report.destination) continue;
+        EXPECT_TRUE(sim.checkPolicy(policy)) << policy.str();
+      }
+    }
+  } else {
+    EXPECT_EQ(result.errorCode, ErrorCode::kTimeout);
+    EXPECT_EQ(countOutcome(result, SubOutcome::kTimedOut),
+              result.subproblems.size());
+  }
+}
+
+TEST(Resilience, GenerousBudgetSolvesNormally) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.timeBudgetMs = 60000;
+  const AedResult result = synthesize(tree, policies, {}, options);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_FALSE(result.degraded);
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(policies).empty());
+}
+
+TEST(Resilience, SubproblemTimeoutKnobIsHonored) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.subproblemTimeoutMs = 60000;  // generous; must not break anything
+  const AedResult result = synthesize(tree, policies, {}, options);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_FALSE(result.degraded);
+}
+
+// ------------------------------------------------------------- cancellation
+
+TEST(Resilience, PreCancelledRunStopsBeforeSolving) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->requestStop();
+  const AedResult result = synthesize(tree, policies, {}, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.errorCode, ErrorCode::kCancelled);
+  EXPECT_EQ(countOutcome(result, SubOutcome::kCancelled),
+            result.subproblems.size());
+  // No solver work was done.
+  EXPECT_EQ(result.stats.sumSubproblemSeconds, 0.0);
+}
+
+TEST(Resilience, CancellationMidRunIsCooperative) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  AedOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  // Delay the first subproblem long enough for the canceller to fire while
+  // the batch is in flight; later subproblems observe the flag.
+  options.faultInjection.kind = FaultInjection::Kind::kDelay;
+  options.faultInjection.subproblem = 0;
+  options.faultInjection.delayMs = 200;
+  options.workers = 1;  // serialize so the delay precedes sibling solves
+
+  std::thread canceller([&options] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    options.cancel->requestStop();
+  });
+  const AedResult result = synthesize(tree, policies, {}, options);
+  canceller.join();
+
+  // Cancellation is cooperative: the run either stopped with kCancelled
+  // (nothing usable yet) or returned the work that finished before the flag
+  // was observed, reporting the rest as cancelled.
+  if (result.success) {
+    EXPECT_TRUE(result.degraded);
+    EXPECT_GE(countOutcome(result, SubOutcome::kCancelled), 1u);
+  } else {
+    EXPECT_EQ(result.errorCode, ErrorCode::kCancelled);
+  }
+}
+
+// --------------------------------------------------------- degradation order
+
+TEST(Resilience, LadderPrefersUserObjectivesOverMinimality) {
+  // Force an unknown on the monolithic problem (one subproblem) with user
+  // objectives present: the ladder's second rung keeps the user objectives,
+  // so the degraded result must still report them.
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = {aed::testing::figure1P3()};
+  const auto objectives = parseObjectives("NOMODIFY //Router[name=\"A\"]");
+  AedOptions options;
+  options.perDestination = false;
+  options.faultInjection.kind = FaultInjection::Kind::kUnknown;
+  options.faultInjection.subproblem = 0;
+  const AedResult result = synthesize(tree, policies, objectives, options);
+
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_TRUE(result.degraded);
+  ASSERT_EQ(result.subproblems.size(), 1u);
+  EXPECT_EQ(result.subproblems[0].outcome, SubOutcome::kDegraded);
+  // Rung 2 (minimality dropped, user objectives kept) must have been tried
+  // before rung 3: with objectives present the detail names the softer rung.
+  EXPECT_NE(result.subproblems[0].detail.find("minimality softs dropped"),
+            std::string::npos)
+      << result.subproblems[0].detail;
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(policies).empty());
+}
+
+TEST(Resilience, LadderFallsToHardOnlyWithoutUserObjectives) {
+  // No user objectives: rung 2 is skipped (nothing to keep) and the ladder
+  // lands on hard-constraints-only SAT.
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = {aed::testing::figure1P3()};
+  AedOptions options;
+  options.perDestination = false;
+  options.faultInjection.kind = FaultInjection::Kind::kUnknown;
+  options.faultInjection.subproblem = 0;
+  const AedResult result = synthesize(tree, policies, {}, options);
+
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_EQ(result.subproblems.size(), 1u);
+  EXPECT_EQ(result.subproblems[0].outcome, SubOutcome::kDegraded);
+  EXPECT_NE(result.subproblems[0].detail.find("hard constraints only"),
+            std::string::npos)
+      << result.subproblems[0].detail;
+  Simulator sim(result.updated);
+  EXPECT_TRUE(sim.violations(policies).empty());
+}
+
+// ----------------------------------------------------------- outcome report
+
+TEST(Resilience, ReportCoversEverySubproblem) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  const AedResult result = synthesize(tree, policies);
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_EQ(result.subproblems.size(), result.stats.subproblems);
+  for (std::size_t i = 0; i < result.subproblems.size(); ++i) {
+    EXPECT_EQ(result.subproblems[i].index, i);
+    EXPECT_FALSE(result.subproblems[i].destination.empty());
+    EXPECT_GT(result.subproblems[i].policyCount, 0u);
+    EXPECT_EQ(result.subproblems[i].outcome, SubOutcome::kOk);
+    EXPECT_EQ(result.subproblems[i].code, ErrorCode::kNone);
+  }
+}
+
+TEST(Resilience, OutcomeNamesAreStable) {
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kOk), "ok");
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kDegraded), "degraded");
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kTimedOut), "timed_out");
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kUnsat), "unsat");
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kError), "error");
+  EXPECT_STREQ(subOutcomeName(SubOutcome::kCancelled), "cancelled");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kNone), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace aed
