@@ -127,6 +127,21 @@ int main(int argc, char** argv) {
               << result.stats.totalSeconds << "s, "
               << result.stats.subproblems << " subproblems):\n"
               << result.patch.describe();
+    const auto printPhases = [](const char* label, const PhaseBreakdown& p) {
+      std::cout << "  " << label << ": sketch " << p.sketchSeconds
+                << "s, encode " << p.encodeSeconds << "s, solve "
+                << p.solveSeconds << "s, extract " << p.extractSeconds
+                << "s, simulate " << p.simulateSeconds << "s (total "
+                << p.total() << "s)\n";
+    };
+    std::cout << "phase breakdown:\n";
+    printPhases("first round", result.stats.firstRound);
+    if (result.stats.repairRounds > 0) {
+      std::cout << "  repair rounds: " << result.stats.repairRounds
+                << ", warm-start re-solves: " << result.stats.warmStartSolves
+                << "\n";
+      printPhases("repair", result.stats.repair);
+    }
     const DiffStats diff = diffNetworks(tree, result.updated);
     std::cout << "\ndevices changed: " << diff.devicesChanged << "/"
               << diff.totalDevices << ", lines changed: "

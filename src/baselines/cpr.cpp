@@ -24,7 +24,7 @@ void prependPacketRule(Node& filter, const TrafficClass& cls,
                        const std::string& action) {
   int minSeq = 10000;
   for (const Node* rule : filter.childrenOfKind(NodeKind::kPacketFilterRule)) {
-    minSeq = std::min(minSeq, std::stoi(rule->attr("seq")));
+    minSeq = std::min(minSeq, rule->intAttr("seq"));
   }
   Node& rule = filter.addChild(NodeKind::kPacketFilterRule);
   rule.setAttr("seq", std::to_string(minSeq - 1));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace aed {
 
@@ -55,6 +56,21 @@ bool Node::hasAttr(const std::string& key) const {
 
 void Node::setAttr(const std::string& key, std::string value) {
   attrs_[key] = std::move(value);
+}
+
+int Node::intAttr(const std::string& key) const {
+  const auto it = attrs_.find(key);
+  if (it == attrs_.end()) {
+    throw AedError(ErrorCode::kParseError, "missing integer attribute '" +
+                                               key + "' on node " + path());
+  }
+  return parseInt(it->second, "attribute '" + key + "' of node " + path());
+}
+
+int Node::intAttr(const std::string& key, int fallback) const {
+  const auto it = attrs_.find(key);
+  if (it == attrs_.end()) return fallback;
+  return parseInt(it->second, "attribute '" + key + "' of node " + path());
 }
 
 Node& Node::addChild(NodeKind kind) {

@@ -59,6 +59,15 @@ class Node {
   /// Shorthand for the common "name" attribute.
   const std::string& name() const { return attr("name"); }
 
+  /// Checked numeric attribute access for `seq`/`lp`/`med`/`cost`-style
+  /// attributes. Throws AedError(ErrorCode::kParseError) naming the node
+  /// path when the attribute is missing or not a valid integer, instead of
+  /// letting std::stoi abort the process with std::invalid_argument.
+  int intAttr(const std::string& key) const;
+  /// Same, but returns `fallback` when the attribute is absent (a present
+  /// but malformed value still throws).
+  int intAttr(const std::string& key, int fallback) const;
+
   /// Appends a new child of `kind` and returns it.
   Node& addChild(NodeKind kind);
   /// Appends a deep copy of `other` (attributes + descendants).

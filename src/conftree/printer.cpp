@@ -25,7 +25,7 @@ std::vector<Node*> sortedRulesBySeq(const Node& filter,
                                     NodeKind ruleKind) {
   auto rules = filter.childrenOfKind(ruleKind);
   std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
-    return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+    return a->intAttr("seq") < b->intAttr("seq");
   });
   return rules;
 }

@@ -6,11 +6,11 @@
 #include <set>
 #include <thread>
 
-#include "objectives/translate.hpp"
+#include "core/subsolver.hpp"
 #include "simulate/simulator.hpp"
-#include "smt/session.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aed {
@@ -23,21 +23,6 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// One MaxSMT subproblem (the whole problem, or one destination group).
-struct SubResult {
-  SubOutcome outcome = SubOutcome::kError;
-  ErrorCode code = ErrorCode::kNone;
-  std::string detail;
-
-  bool sat = false;
-  Patch patch;
-  std::vector<std::string> satisfied;
-  std::vector<std::string> violated;
-  std::vector<std::string> activeDeltas;  // for blocking on repair
-  double seconds = 0.0;
-  std::size_t deltaCount = 0;
-};
-
 /// Did the subproblem yield a usable (hard-constraint-satisfying) patch?
 bool usable(const SubResult& sub) {
   return sub.outcome == SubOutcome::kOk || sub.outcome == SubOutcome::kDegraded;
@@ -49,104 +34,6 @@ SubResult failedSubResult(SubOutcome outcome, ErrorCode code,
   result.outcome = outcome;
   result.code = code;
   result.detail = detail;
-  return result;
-}
-
-SubResult solveSubproblem(const ConfigTree& tree, const Topology& topo,
-                          const PolicySet& policies,
-                          const std::vector<Objective>& objectives,
-                          const AedOptions& options,
-                          const std::vector<std::vector<std::string>>&
-                              blockedDeltaSets,
-                          const Deadline& deadline, bool injectUnknown) {
-  const auto start = Clock::now();
-  SubResult result;
-
-  const Sketch sketch = buildSketch(tree, topo, policies, options.sketch);
-  result.deltaCount = sketch.deltas().size();
-
-  SmtSession session;
-  session.setDeadline(deadline);
-  session.setAnytime(options.anytime);
-  if (injectUnknown) session.injectUnknown(1);
-  if (options.randomPhaseSeed != 0) {
-    session.randomizePhase(options.randomPhaseSeed);
-  }
-  Encoder encoder(session, tree, topo, sketch, options.encoder);
-  encoder.encode(policies);
-
-  // Block delta combinations that previously failed simulator validation.
-  for (const auto& blocked : blockedDeltaSets) {
-    z3::expr all = session.boolVal(true);
-    bool any = false;
-    for (const std::string& name : blocked) {
-      const DeltaVar* delta = sketch.findByName(name);
-      if (delta == nullptr) continue;
-      all = all && encoder.deltaActive(*delta);
-      any = true;
-    }
-    if (any) session.addHard(!all);
-  }
-
-  // User objectives (scaled), then the default minimality pressure.
-  std::vector<Objective> scaled = objectives;
-  for (Objective& objective : scaled) {
-    objective.weight *= options.objectiveWeightScale;
-  }
-  addObjectives(encoder, scaled);
-  if (options.defaultMinimality) {
-    addPerDeltaMinimality(encoder, options.minimalityWeight);
-  }
-
-  const SmtSession::Result check = session.check();
-  result.sat = check.sat;
-  result.seconds = secondsSince(start);
-  if (!check.sat) {
-    if (check.code == ErrorCode::kUnsat) {
-      result.outcome = SubOutcome::kUnsat;
-      result.code = ErrorCode::kUnsat;
-      result.detail = "hard constraints unsatisfiable";
-    } else if (check.code == ErrorCode::kTimeout) {
-      result.outcome = SubOutcome::kTimedOut;
-      result.code = ErrorCode::kTimeout;
-      result.detail = "wall-clock budget exhausted (status " + check.status +
-                      ")";
-    } else {
-      result.outcome = SubOutcome::kError;
-      result.code = ErrorCode::kSolverUnknown;
-      result.detail = "solver answered " + check.status;
-    }
-    return result;
-  }
-
-  switch (check.degradation) {
-    case SmtSession::Degradation::kNone:
-      result.outcome = SubOutcome::kOk;
-      break;
-    case SmtSession::Degradation::kNoMinimality:
-      result.outcome = SubOutcome::kDegraded;
-      result.detail = "degraded: minimality softs dropped";
-      break;
-    case SmtSession::Degradation::kHardOnly:
-      result.outcome = SubOutcome::kDegraded;
-      result.detail = "degraded: hard constraints only";
-      break;
-  }
-
-  result.patch = encoder.extractPatch();
-  for (const DeltaVar& delta : sketch.deltas()) {
-    if (session.evalBool(encoder.deltaActive(delta))) {
-      result.activeDeltas.push_back(delta.name);
-    }
-  }
-  // Only user objectives are reported; the per-delta minimality softs are an
-  // internal mechanism.
-  for (const std::string& label : check.satisfiedObjectives) {
-    if (label.rfind("min-change:", 0) != 0) result.satisfied.push_back(label);
-  }
-  for (const std::string& label : check.violatedObjectives) {
-    if (label.rfind("min-change:", 0) != 0) result.violated.push_back(label);
-  }
   return result;
 }
 
@@ -168,7 +55,6 @@ Patch mergePatches(const std::vector<Patch>& patches) {
   Patch merged;
   std::set<std::string> seen;            // dedupe identical edits
   std::set<std::pair<std::string, int>> usedSeqs;
-  std::map<std::string, int> nextSeq;    // per filter path
 
   const auto editKey = [](const Edit& edit) {
     std::string key = std::to_string(static_cast<int>(edit.op)) + "|" +
@@ -176,6 +62,20 @@ Patch mergePatches(const std::vector<Patch>& patches) {
                       std::string(nodeKindName(edit.kind));
     for (const auto& [k, v] : edit.attrs) key += "|" + k + "=" + v;
     return key;
+  };
+
+  // Deterministic collision renumbering: the nearest free *positive*
+  // sequence number, searching downward first (a prepended rule should stay
+  // in front of the rules it was solved against), then upward. Sequence
+  // numbers must stay >= 1 — the config dialect has no zero/negative seq,
+  // and the simulator's seq-sorted evaluation would order them wrongly.
+  const auto renumber = [&usedSeqs](const std::string& path, int seq) {
+    int down = seq > 1 ? seq - 1 : 0;  // 0: no positive slot below seq
+    while (down >= 1 && usedSeqs.count({path, down}) != 0) --down;
+    if (down >= 1) return down;
+    int up = seq >= 1 ? seq + 1 : 1;
+    while (usedSeqs.count({path, up}) != 0) ++up;
+    return up;
   };
 
   for (const Patch& patch : patches) {
@@ -187,21 +87,14 @@ Patch mergePatches(const std::vector<Patch>& patches) {
            copy.kind == NodeKind::kPacketFilterRule) &&
           copy.attrs.count("seq") != 0;
       if (isRuleAdd) {
-        int seq = std::stoi(copy.attrs.at("seq"));
-        if (usedSeqs.count({copy.targetPath, seq}) != 0 &&
-            seen.count(editKey(copy)) == 0) {
-          // Colliding sequence number from a parallel subproblem: allocate
-          // the next free one below everything seen for this filter.
-          auto it = nextSeq.find(copy.targetPath);
-          int candidate = it == nextSeq.end() ? seq - 1 : it->second;
-          while (usedSeqs.count({copy.targetPath, candidate}) != 0) {
-            --candidate;
-          }
-          seq = candidate;
+        int seq = parseInt(copy.attrs.at("seq"),
+                           "seq of merged rule addition at " + copy.targetPath);
+        if (seq < 1 || (usedSeqs.count({copy.targetPath, seq}) != 0 &&
+                        seen.count(editKey(copy)) == 0)) {
+          seq = renumber(copy.targetPath, seq);
           copy.attrs["seq"] = std::to_string(seq);
         }
         usedSeqs.insert({copy.targetPath, seq});
-        nextSeq[copy.targetPath] = seq - 1;
       }
       const std::string key = editKey(copy);
       if (seen.insert(key).second) merged.add(std::move(copy));
@@ -245,6 +138,20 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
   result.stats.subproblems = groups.size();
 
   std::vector<SubResult> subResults(groups.size());
+
+  // One persistent solver per destination group, alive across repair rounds
+  // (the incremental re-solve engine): a repair round pushes only the new
+  // blocked-delta clauses into the existing z3::optimize instance instead of
+  // re-encoding from scratch. Each solver owns its own z3::context, so the
+  // parallel engine can drive distinct solvers from distinct workers; a
+  // worker only ever touches its own group's solver. With
+  // incrementalResolve off, a fresh solver is built per round (the
+  // pre-incremental baseline, kept for A/B benchmarking).
+  std::vector<std::unique_ptr<SubproblemSolver>> solvers(groups.size());
+  const auto freshSolver = [&](std::size_t i) {
+    return std::make_unique<SubproblemSolver>(tree, topo, groups[i],
+                                              objectives, effective);
+  };
 
   // Fills the outcome report and aggregate stats from subResults; called on
   // every exit path.
@@ -373,10 +280,16 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         if (options.subproblemTimeoutMs != 0) {
           deadline = Deadline::after(options.subproblemTimeoutMs).min(deadline);
         }
-        subResults[i] = solveSubproblem(
-            tree, topo, groups[i], objectives, effective, blocked, deadline,
+        if (solvers[i] == nullptr || !effective.incrementalResolve) {
+          solvers[i] = freshSolver(i);
+        }
+        subResults[i] = solvers[i]->solve(
+            blocked, deadline,
             injected && fault.kind == FaultInjection::Kind::kUnknown);
       } catch (const AedError& e) {
+        // A throwing solver may hold a poisoned Z3 state; rebuild it before
+        // any future re-solve of this group.
+        solvers[i].reset();
         if (!isolatable(e.code())) throw;  // deterministic: fail the run
         const SubOutcome outcome = e.code() == ErrorCode::kTimeout
                                        ? SubOutcome::kTimedOut
@@ -386,6 +299,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         subResults[i] = failedSubResult(outcome, e.code(), e.what());
       } catch (const std::exception& e) {
         // Covers z3::exception: solver infrastructure trouble, isolated.
+        solvers[i].reset();
         subResults[i] = failedSubResult(
             SubOutcome::kError, ErrorCode::kSubproblemFailed, e.what());
       }
@@ -424,6 +338,20 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     }
     if (fatal) std::rethrow_exception(fatal);
     for (std::size_t i : pending) needsSolve[i] = false;
+
+    // Per-phase timing, split by round kind: round 0 is where every
+    // subproblem pays sketch + encode; with incrementalResolve the repair
+    // bucket's sketch/encode stay ~0 because the persistent solvers reuse
+    // their encodings.
+    PhaseBreakdown& phaseBucket =
+        round == 0 ? result.stats.firstRound : result.stats.repair;
+    for (std::size_t i : pending) {
+      phaseBucket.sketchSeconds += subResults[i].phases.sketchSeconds;
+      phaseBucket.encodeSeconds += subResults[i].phases.encodeSeconds;
+      phaseBucket.solveSeconds += subResults[i].phases.solveSeconds;
+      phaseBucket.extractSeconds += subResults[i].phases.extractSeconds;
+      if (subResults[i].warmStart) ++result.stats.warmStartSolves;
+    }
 
     // Unsat is fatal for the whole run: the policies conflict (§11 "SMT
     // output for special cases"), and a partial patch would silently drop a
@@ -496,8 +424,35 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       result.updated = std::move(updated);
       break;
     }
+    const auto simulateStart = Clock::now();
     Simulator sim(updated);
-    const PolicySet violated = sim.violations(survivingPolicies);
+    PolicySet violated = sim.violations(survivingPolicies);
+    phaseBucket.simulateSeconds += secondsSince(simulateStart);
+    // Deterministic fault injection for repair-heavy scenarios: treat the
+    // first rejectRounds passing verdicts as failures, so the blocking +
+    // incremental re-solve machinery runs for real (tests and
+    // bench_incremental).
+    if (violated.empty() &&
+        options.faultInjection.kind ==
+            FaultInjection::Kind::kRejectValidation &&
+        round < options.faultInjection.rejectRounds) {
+      // Only policies whose owning subproblem actually made changes can be
+      // rejected: an empty patch has no delta set to block, so rejecting its
+      // policies would fabricate a model/simulator divergence.
+      PolicySet rejectable;
+      for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (!usable(subResults[i]) || subResults[i].activeDeltas.empty()) {
+          continue;
+        }
+        rejectable.insert(rejectable.end(), groups[i].begin(),
+                          groups[i].end());
+      }
+      if (!rejectable.empty()) {
+        logWarn() << "fault injection: rejecting the round-" << round
+                  << " validation verdict";
+        violated = std::move(rejectable);
+      }
+    }
     if (violated.empty()) {
       result.patch = std::move(merged);
       result.updated = std::move(updated);
@@ -524,6 +479,16 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     // and re-solve just those.
     logWarn() << "patch failed simulation for " << violated.size()
               << " policies; blocking and re-solving";
+    // A group's active delta set is pushed at most once per round, even when
+    // it owns several violated policies: duplicate blocking clauses would
+    // bloat every solver (incremental ones keep them forever).
+    std::set<std::size_t> blamedGroups;
+    const auto blame = [&](std::size_t i) {
+      needsSolve[i] = true;
+      if (blamedGroups.insert(i).second) {
+        blocked.push_back(subResults[i].activeDeltas);
+      }
+    };
     for (const Policy& policy : violated) {
       bool blamed = false;
       for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -534,8 +499,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
                           return p.cls.dst == policy.cls.dst;
                         });
         if (!owns || subResults[i].activeDeltas.empty()) continue;
-        blocked.push_back(subResults[i].activeDeltas);
-        needsSolve[i] = true;
+        blame(i);
         blamed = true;
       }
       if (!blamed) {
@@ -544,8 +508,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         for (std::size_t i = 0; i < groups.size(); ++i) {
           if (!usable(subResults[i])) continue;
           if (subResults[i].activeDeltas.empty()) continue;
-          blocked.push_back(subResults[i].activeDeltas);
-          needsSolve[i] = true;
+          blame(i);
           blamed = true;
         }
       }

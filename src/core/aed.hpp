@@ -54,12 +54,21 @@ struct FaultInjection {
     kDelay,    // the subproblem sleeps delayMs before solving
     kUnknown,  // the full MaxSMT check reports "unknown", forcing the
                // degradation ladder to run for real
+    kRejectValidation,  // the simulator validation of the first rejectRounds
+                        // otherwise-passing merged patches is treated as
+                        // failed, deterministically forcing that many repair
+                        // rounds (blocking + re-solve run for real); used by
+                        // the repair-round equivalence tests and
+                        // bench_incremental
   };
   Kind kind = Kind::kNone;
-  /// Index of the subproblem to poison (destination order).
+  /// Index of the subproblem to poison (destination order); ignored by
+  /// Kind::kRejectValidation, which rejects whole-run validation verdicts.
   int subproblem = 0;
   /// Sleep duration for Kind::kDelay.
   std::uint64_t delayMs = 50;
+  /// Rounds of forced validation rejection for Kind::kRejectValidation.
+  int rejectRounds = 1;
 };
 
 struct AedOptions {
@@ -85,6 +94,15 @@ struct AedOptions {
   /// failing delta set blocked, up to this many rounds per subproblem.
   bool validateWithSimulator = true;
   int maxRepairIterations = 3;
+
+  /// Incremental re-solve (the paper's headline lever, applied to the repair
+  /// loop): keep one persistent SubproblemSolver — sketch, Z3 session, and
+  /// encoding — per destination group for the whole run, so a repair round
+  /// only pushes the new blocked-delta clauses into the live solver and
+  /// re-checks. When false, every repair round rebuilds the subproblem from
+  /// scratch (the pre-incremental behavior; kept for A/B benchmarking in
+  /// bench_incremental).
+  bool incrementalResolve = true;
 
   /// Global wall-clock budget in milliseconds for the whole run, split
   /// across queued subproblems and wired to Z3's timeout parameter.
@@ -133,6 +151,20 @@ struct SubproblemReport {
   double seconds = 0.0;
 };
 
+/// Wall-clock seconds per engine phase, summed across subproblems (so under
+/// parallelism a bucket can exceed the round's elapsed time).
+struct PhaseBreakdown {
+  double sketchSeconds = 0.0;    // delta enumeration (buildSketch)
+  double encodeSeconds = 0.0;    // constraint building + objective softs
+  double solveSeconds = 0.0;     // SmtSession::check (MaxSMT + ladder)
+  double extractSeconds = 0.0;   // model → patch + active-delta readout
+  double simulateSeconds = 0.0;  // simulator validation of the merged patch
+  double total() const {
+    return sketchSeconds + encodeSeconds + solveSeconds + extractSeconds +
+           simulateSeconds;
+  }
+};
+
 struct AedStats {
   double totalSeconds = 0.0;
   double maxSubproblemSeconds = 0.0;  // critical path under parallelism
@@ -142,6 +174,19 @@ struct AedStats {
   std::size_t failedSubproblems = 0;    // timed out / unsat / error / cancelled
   std::size_t deltaCount = 0;
   std::size_t repairRounds = 0;
+
+  /// Phase timing, split by round kind: round 0 pays the full
+  /// sketch+encode+solve cost for every subproblem; repair rounds should be
+  /// nearly pure solve time when incrementalResolve is on (sketch/encode
+  /// stay at ~0 because the persistent solvers are reused).
+  PhaseBreakdown firstRound;
+  PhaseBreakdown repair;
+
+  /// Subproblem re-solves served by the SMT session's warm-start fast path
+  /// (one plain SAT query at the previous optimum instead of a full MaxSMT
+  /// run). Only persistent solvers can warm-start, so this stays 0 with
+  /// incrementalResolve off.
+  std::size_t warmStartSolves = 0;
 };
 
 struct AedResult {

@@ -58,13 +58,13 @@ void Encoder::collectLpValues() {
   std::set<int> meds{kDefaultMed};
   tree_.root().visit([&values, &costs, &meds](const Node& node) {
     if (node.kind() == NodeKind::kRouteFilterRule && node.hasAttr("lp")) {
-      values.insert(std::stoi(node.attr("lp")));
+      values.insert(node.intAttr("lp"));
     }
     if (node.kind() == NodeKind::kRouteFilterRule && node.hasAttr("med")) {
-      meds.insert(std::stoi(node.attr("med")));
+      meds.insert(node.intAttr("med"));
     }
     if (node.kind() == NodeKind::kAdjacency && node.hasAttr("cost")) {
-      costs.insert(std::stoi(node.attr("cost")));
+      costs.insert(node.intAttr("cost"));
     }
   });
   lpValues_.assign(values.begin(), values.end());
@@ -85,19 +85,19 @@ z3::expr Encoder::deltaActive(const DeltaVar& delta) {
     const Node* rule = tree_.byPath(delta.nodePath);
     require(rule != nullptr, "lp delta for unknown rule: " + delta.nodePath);
     const int current =
-        rule->hasAttr("lp") ? std::stoi(rule->attr("lp")) : kDefaultLp;
+        rule->intAttr("lp", kDefaultLp);
     active = lpChanged(delta.name, current);
   } else if (delta.kind == DeltaKind::kSetRouteFilterRuleMed) {
     const Node* rule = tree_.byPath(delta.nodePath);
     require(rule != nullptr, "med delta for unknown rule");
     const int current =
-        rule->hasAttr("med") ? std::stoi(rule->attr("med")) : kDefaultMed;
+        rule->intAttr("med", kDefaultMed);
     active = medExpr(delta.name, current) != session_.intVal(current);
   } else if (delta.kind == DeltaKind::kSetAdjacencyCost) {
     const Node* adj = tree_.byPath(delta.nodePath);
     require(adj != nullptr, "cost delta for unknown adjacency");
     const int current =
-        adj->hasAttr("cost") ? std::stoi(adj->attr("cost")) : 1;
+        adj->intAttr("cost", 1);
     active = costExpr(delta.name, current) != session_.intVal(current);
   } else {
     active = session_.boolVar(delta.name);
@@ -118,7 +118,7 @@ std::optional<z3::expr> Encoder::lpValueExpr(const DeltaVar& delta) {
     const Node* rule = tree_.byPath(delta.nodePath);
     require(rule != nullptr, "lp delta for unknown rule");
     const int current =
-        rule->hasAttr("lp") ? std::stoi(rule->attr("lp")) : kDefaultLp;
+        rule->intAttr("lp", kDefaultLp);
     return lpExpr(delta.name, current);
   }
   if (delta.kind == DeltaKind::kAddRouteFilterRule &&
@@ -237,7 +237,7 @@ Encoder::FilterAction Encoder::routeFilterAction(const std::string& router,
   if (filter != nullptr) {
     auto rules = filter->childrenOfKind(NodeKind::kRouteFilterRule);
     std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
-      return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+      return a->intAttr("seq") < b->intAttr("seq");
     });
     // Build the if-then-else chain from the last rule to the first.
     for (auto rit = rules.rbegin(); rit != rules.rend(); ++rit) {
@@ -258,11 +258,11 @@ Encoder::FilterAction Encoder::routeFilterAction(const std::string& router,
         ruleAllow = permitBase ? !f : f;
       }
       const int lpBase =
-          rule->hasAttr("lp") ? std::stoi(rule->attr("lp")) : kDefaultLp;
+          rule->intAttr("lp", kDefaultLp);
       z3::expr ruleLp = lpDelta != nullptr ? lpExpr(lpDelta->name, lpBase)
                                            : session_.intVal(lpBase);
       const int medBase =
-          rule->hasAttr("med") ? std::stoi(rule->attr("med")) : kDefaultMed;
+          rule->intAttr("med", kDefaultMed);
       z3::expr ruleMed = medDelta != nullptr
                              ? medExpr(medDelta->name, medBase)
                              : session_.intVal(medBase);
@@ -321,7 +321,7 @@ z3::expr Encoder::packetAllow(const std::string& router,
   if (filter != nullptr) {
     auto rules = filter->childrenOfKind(NodeKind::kPacketFilterRule);
     std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
-      return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+      return a->intAttr("seq") < b->intAttr("seq");
     });
     for (auto rit = rules.rbegin(); rit != rules.rend(); ++rit) {
       const Node* rule = *rit;
@@ -577,9 +577,7 @@ void Encoder::buildRoutingLayer(std::size_t e, const Ipv4Prefix& dst) {
           if (adj->attr("peer") == peer) adjNode = adj;
         }
         const int current =
-            adjNode != nullptr && adjNode->hasAttr("cost")
-                ? std::stoi(adjNode->attr("cost"))
-                : 1;
+            adjNode != nullptr ? adjNode->intAttr("cost", 1) : 1;
         const DeltaVar* costDelta = sketch_.findByName(
             mangle({"cost", proc.router, procLabel(*proc.node), "Adj", peer}));
         hopCost = costDelta != nullptr

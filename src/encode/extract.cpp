@@ -26,7 +26,7 @@ int initialFrontSeq(const Node* filter, NodeKind ruleKind) {
   int minSeq = 10000;
   if (filter != nullptr) {
     for (const Node* rule : filter->childrenOfKind(ruleKind)) {
-      minSeq = std::min(minSeq, std::stoi(rule->attr("seq")));
+      minSeq = std::min(minSeq, rule->intAttr("seq"));
     }
   }
   return minSeq - 1;
@@ -76,7 +76,7 @@ void Encoder::materializeDelta(const DeltaVar& delta, Patch& patch,
       const Node* rule = tree_.byPath(delta.nodePath);
       require(rule != nullptr, "lp delta for unknown rule");
       const int current =
-          rule->hasAttr("lp") ? std::stoi(rule->attr("lp")) : kDefaultLp;
+          rule->intAttr("lp", kDefaultLp);
       // lpExpr is cached at the session level via named variables, so this
       // re-evaluates the same expression the encoding used.
       const int value = session_.evalInt(
@@ -91,7 +91,7 @@ void Encoder::materializeDelta(const DeltaVar& delta, Patch& patch,
       const Node* rule = tree_.byPath(delta.nodePath);
       require(rule != nullptr, "med delta for unknown rule");
       const int current =
-          rule->hasAttr("med") ? std::stoi(rule->attr("med")) : kDefaultMed;
+          rule->intAttr("med", kDefaultMed);
       const int value = session_.evalInt(
           const_cast<Encoder*>(this)->medExpr(delta.name, current));
       patch.add(Edit{Edit::Op::kSetAttr,
@@ -104,7 +104,7 @@ void Encoder::materializeDelta(const DeltaVar& delta, Patch& patch,
       const Node* adj = tree_.byPath(delta.nodePath);
       require(adj != nullptr, "cost delta for unknown adjacency");
       const int current =
-          adj->hasAttr("cost") ? std::stoi(adj->attr("cost")) : 1;
+          adj->intAttr("cost", 1);
       const int value = session_.evalInt(
           const_cast<Encoder*>(this)->costExpr(delta.name, current));
       patch.add(Edit{Edit::Op::kSetAttr,

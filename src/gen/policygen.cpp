@@ -136,4 +136,23 @@ PolicySet makePathPreferencePolicies(const ConfigTree& tree, int count,
   return out;
 }
 
+PolicySet makeWithdrawnSubnetUpdate(GeneratedNetwork& net,
+                                    const std::string& router) {
+  Simulator healthy(net.tree);
+  PolicySet policies = healthy.inferReachabilityPolicies();
+
+  const Ipv4Prefix subnet = net.hostSubnets.at(router);
+  for (Node* node : net.tree.routers()) {
+    if (node->name() != router) continue;
+    for (Node* proc : node->childrenOfKind(NodeKind::kRoutingProcess)) {
+      std::vector<Node*> withdrawn;
+      for (Node* orig : proc->childrenOfKind(NodeKind::kOrigination)) {
+        if (orig->attr("prefix") == subnet.str()) withdrawn.push_back(orig);
+      }
+      for (const Node* orig : withdrawn) proc->removeChild(*orig);
+    }
+  }
+  return policies;
+}
+
 }  // namespace aed

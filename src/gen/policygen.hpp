@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "conftree/tree.hpp"
+#include "gen/netgen.hpp"
 #include "policy/policy.hpp"
 
 namespace aed {
@@ -37,5 +39,16 @@ PolicySet makeWaypointPolicies(const ConfigTree& tree, int count,
 /// the primary's first link.
 PolicySet makePathPreferencePolicies(const ConfigTree& tree, int count,
                                      std::uint64_t seed);
+
+/// Repair-heavy scenario for the blocked-delta re-solve machinery: infers
+/// the healthy network's reachability policies, then withdraws `router`'s
+/// host-subnet origination from the configuration (mutating `net`). The
+/// returned policies now demand reachability to a subnet nobody advertises,
+/// and the sketch offers several distinct fixes — re-originate, redistribute
+/// connected, or a chain of static routes — so synthesis still converges
+/// after one or two candidate delta sets are blocked (unlike unblocking a
+/// packet filter, which usually has exactly one model-visible fix).
+PolicySet makeWithdrawnSubnetUpdate(GeneratedNetwork& net,
+                                    const std::string& router);
 
 }  // namespace aed

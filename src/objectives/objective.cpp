@@ -46,7 +46,8 @@ Objective parseObjective(std::string_view text) {
       i += 2;
     } else if (clause == "WEIGHT") {
       require(i + 1 < tokens.size(), "WEIGHT needs a number");
-      const int value = std::stoi(std::string(tokens[i + 1]));
+      const int value = parseInt(
+          tokens[i + 1], "WEIGHT clause of objective '" + objective.label + "'");
       require(value > 0, "WEIGHT must be positive");
       objective.weight = static_cast<unsigned>(value);
       i += 2;

@@ -29,16 +29,16 @@ std::optional<std::pair<int, int>> applyRouteFilter(const Node* filter,
   }
   auto rules = filter->childrenOfKind(NodeKind::kRouteFilterRule);
   std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
-    return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+    return a->intAttr("seq") < b->intAttr("seq");
   });
   for (const Node* rule : rules) {
     const auto rulePrefix = Ipv4Prefix::parse(rule->attr("prefix"));
     if (!rulePrefix || !rulePrefix->contains(dst)) continue;
     if (rule->attr("action") == "deny") return std::nullopt;
     const int lp =
-        rule->hasAttr("lp") ? std::stoi(rule->attr("lp")) : kDefaultLp;
+        rule->intAttr("lp", kDefaultLp);
     const int med =
-        rule->hasAttr("med") ? std::stoi(rule->attr("med")) : kDefaultMed;
+        rule->intAttr("med", kDefaultMed);
     return std::pair(lp, med);
   }
   return std::nullopt;  // implicit deny
@@ -50,7 +50,7 @@ bool packetFilterAllows(const Node* filter, const TrafficClass& cls) {
   if (filter == nullptr) return true;
   auto rules = filter->childrenOfKind(NodeKind::kPacketFilterRule);
   std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
-    return std::stoi(a->attr("seq")) < std::stoi(b->attr("seq"));
+    return a->intAttr("seq") < b->intAttr("seq");
   });
   for (const Node* rule : rules) {
     const auto srcPrefix = Ipv4Prefix::parse(rule->attr("srcPrefix"));
@@ -158,7 +158,7 @@ std::map<std::string, RouteEntry> Simulator::computeRoutes(
                                             adj->attr("filterIn"))
                           : nullptr;
         if (type == "ospf" && adj->hasAttr("cost")) {
-          ai.cost = std::stoi(adj->attr("cost"));
+          ai.cost = adj->intAttr("cost");
         }
         info.adjacencies.push_back(std::move(ai));
       }

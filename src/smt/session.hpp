@@ -8,6 +8,19 @@
 // constraints so callers can report which management objectives were
 // satisfied by the chosen model.
 //
+// Sessions are incremental: constraints may be added and check() re-run any
+// number of times (the persistent SubproblemSolver keeps one session alive
+// across repair rounds and only pushes new blocked-delta clauses), and
+// push()/pop() scoping retracts tentative constraints.
+//
+// Incremental re-checks use a warm-start fast path: between checks the
+// caller only ever ADDS constraints, so the feasible set shrinks and the
+// optimal soft-violation cost cannot decrease. check() therefore first asks
+// a plain SAT query whether a model at the previous optimal cost still
+// exists (a pseudo-boolean bound over the soft constraints); if yes, that
+// model is provably optimal and the full MaxSMT engine is skipped entirely.
+// pop() and addSoft() invalidate the remembered optimum (they can lower it).
+//
 // Resilience: a session can be given a wall-clock Deadline (wired to Z3's
 // `timeout` parameter) and, in anytime mode, check() falls back through a
 // degradation ladder when the full MaxSMT query times out or goes unknown:
@@ -34,7 +47,7 @@ namespace aed {
 
 class SmtSession {
  public:
-  SmtSession() : opt_(ctx_) {}
+  SmtSession() : opt_(ctx_), probe_(ctx_) {}
 
   SmtSession(const SmtSession&) = delete;
   SmtSession& operator=(const SmtSession&) = delete;
@@ -64,8 +77,30 @@ class SmtSession {
 
   // ---- constraints ----------------------------------------------------------
 
-  /// Adds a hard constraint.
-  void addHard(const z3::expr& constraint) { opt_.add(constraint); }
+  /// Adds a hard constraint. Legal at any time, including between check()
+  /// calls: the persistent subproblem solver relies on this to push new
+  /// blocked-delta clauses into the live solver on every repair round
+  /// instead of re-encoding from scratch. The constraint is mirrored into
+  /// the persistent plain-SAT probe solver backing the warm-start fast
+  /// path, so warm re-checks are true incremental SAT calls (learned
+  /// lemmas survive across repair rounds).
+  void addHard(const z3::expr& constraint) {
+    opt_.add(constraint);
+    probe_.add(constraint);
+  }
+
+  // ---- scoping --------------------------------------------------------------
+
+  /// Pushes a backtracking scope: hard and soft constraints added after
+  /// push() are retracted by the matching pop(). Used by callers that probe
+  /// tentative constraints (e.g. "would this delta set still be sat?")
+  /// without poisoning the persistent solver state across repair rounds.
+  void push();
+  /// Pops the innermost scope; throws AedError if none is open. Invalidates
+  /// the last model (it may depend on retracted assertions).
+  void pop();
+  /// Number of open scopes.
+  std::size_t scopeDepth() const { return scopes_.size(); }
 
   /// Classification of a soft constraint for the degradation ladder: user
   /// objectives survive one rung longer than the internal per-delta
@@ -73,7 +108,8 @@ class SmtSession {
   enum class SoftKind { kUser, kMinimality };
 
   /// Adds a weighted soft constraint labeled with an objective name.
-  /// Returns the index of the registered soft constraint.
+  /// Returns the index of the registered soft constraint. Invalidates the
+  /// warm-start optimum (new softs change the cost function).
   std::size_t addSoft(const z3::expr& constraint, unsigned weight,
                       const std::string& label,
                       SoftKind kind = SoftKind::kUser);
@@ -127,6 +163,10 @@ class SmtSession {
     std::string status = "unknown";
     /// Ladder rung that produced the model (meaningful only when sat).
     Degradation degradation = Degradation::kNone;
+    /// True when the model came from the incremental warm-start fast path:
+    /// a single SAT query at the previous optimal cost, no MaxSMT engine
+    /// run. The model is still a full MaxSMT optimum (see the header).
+    bool warmStart = false;
     /// Structured failure classification when !sat.
     ErrorCode code = ErrorCode::kNone;
     /// Labels of soft constraints satisfied / violated by the model.
@@ -135,7 +175,11 @@ class SmtSession {
   };
 
   /// Runs the MaxSMT query (with the degradation ladder in anytime mode).
-  /// On sat, the model is retained for eval calls.
+  /// On sat, the model is retained for eval calls. Re-entrant: check() may
+  /// be called again after adding further constraints (incremental
+  /// re-solve); each call replaces the retained model and re-reads the
+  /// deadline, so a persistent session can be re-checked once per repair
+  /// round under a fresh budget.
   Result check();
 
   /// Evaluates a boolean expression in the last model (model completion on).
@@ -152,13 +196,34 @@ class SmtSession {
   bool applyBudget(Solver& solver);
   /// Fills satisfied/violated objective labels from the current model.
   void reportObjectives(Result& result) const;
+  /// Incremental fast path: one plain SAT query asking for a model whose
+  /// soft-violation cost is at most the last recorded optimum. Fills
+  /// `result` and returns true on success; false falls through to the full
+  /// MaxSMT rung (optimum grew, weights overflow, or the probe went
+  /// unknown).
+  bool tryWarmCheck(Result& result);
+
+  /// Soft-registry watermark captured by push(), restored by pop().
+  struct Scope {
+    std::size_t softCount = 0;
+  };
 
   z3::context ctx_;
   z3::optimize opt_;
+  /// Plain-SAT mirror of the hard constraints (soft constraints are not
+  /// asserted here). Persistent so warm-start re-checks solve incrementally
+  /// instead of rebuilding; cost bounds are activated per check through
+  /// assumption indicators, never asserted permanently.
+  z3::solver probe_;
   std::map<std::string, z3::expr> vars_;
   std::vector<z3::expr> softExprs_;
   std::vector<SoftInfo> softInfos_;
+  std::vector<Scope> scopes_;
   std::optional<z3::model> model_;
+  /// Optimal soft-violation cost of the last non-degraded check. Still a
+  /// valid lower bound after further addHard() calls (the feasible set only
+  /// shrinks); cleared by pop() and addSoft(), which can lower the optimum.
+  std::optional<unsigned long long> lastOptimalCost_;
   Deadline deadline_;
   bool anytime_ = true;
   int injectUnknown_ = 0;

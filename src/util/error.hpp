@@ -25,6 +25,9 @@ enum class ErrorCode {
   kCancelled,
   /// Malformed configurations, invalid objective expressions, bad options.
   kInvalidInput,
+  /// A config-tree attribute or expression token that must be numeric is
+  /// missing or not a valid integer (e.g. `seq`, `lp`, `med`, `cost`).
+  kParseError,
   /// A subproblem threw; the rest of the batch still completed.
   kSubproblemFailed,
   /// Internal invariant violation (a bug, or model/simulator divergence).
@@ -41,6 +44,7 @@ inline const char* errorCodeName(ErrorCode code) {
     case ErrorCode::kValidationFailed: return "validation-failed";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInvalidInput: return "invalid-input";
+    case ErrorCode::kParseError: return "parse-error";
     case ErrorCode::kSubproblemFailed: return "subproblem-failed";
     case ErrorCode::kInternal: return "internal";
   }

@@ -1,6 +1,9 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
 
 namespace aed {
 
@@ -54,6 +57,19 @@ std::string join(const std::vector<std::string>& parts,
 
 bool startsWith(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
+}
+
+int parseInt(std::string_view text, const std::string& context) {
+  int value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || text.empty()) {
+    throw AedError(ErrorCode::kParseError,
+                   "invalid integer '" + std::string(text) + "' in " +
+                       context);
+  }
+  return value;
 }
 
 }  // namespace aed

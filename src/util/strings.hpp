@@ -23,4 +23,11 @@ std::string join(const std::vector<std::string>& parts,
 /// True if `text` starts with `prefix`.
 bool startsWith(std::string_view text, std::string_view prefix);
 
+/// Parses a base-10 integer (optional leading '-'), requiring the whole
+/// string to be consumed. Throws AedError(ErrorCode::kParseError) naming
+/// `context` on empty/malformed/overflowing input, so a bad `seq`/`lp`/
+/// `weight` value surfaces as a structured parse failure instead of an
+/// uncaught std::invalid_argument from std::stoi.
+int parseInt(std::string_view text, const std::string& context);
+
 }  // namespace aed

@@ -41,7 +41,18 @@ void runParallel(std::vector<std::function<void()>> tasks,
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
   for (auto& task : tasks) futures.push_back(pool.submit(std::move(task)));
-  for (auto& future : futures) future.get();
+  // Collect every future before rethrowing: a task that throws must not
+  // abandon its in-flight siblings (their futures would be destroyed while
+  // the pool still runs them, and their exceptions would be lost).
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace aed
