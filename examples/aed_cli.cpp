@@ -142,6 +142,17 @@ int main(int argc, char** argv) {
                 << "\n";
       printPhases("repair", result.stats.repair);
     }
+    const SimCacheStats& sim = result.stats.simulate;
+    if (sim.routeHits + sim.routeMisses > 0) {
+      std::cout << "simulate cache: " << sim.routeHits << " hits / "
+                << sim.routeMisses << " misses ("
+                << static_cast<int>(sim.hitRate() * 100.0)
+                << "% hit rate), invalidated " << sim.invalidatedEntries
+                << " tables (" << sim.targetedInvalidations << " targeted, "
+                << sim.fullInvalidations << " full rebinds), "
+                << sim.parallelTasks << " parallel tasks in "
+                << sim.parallelBatches << " batches\n";
+    }
     const DiffStats diff = diffNetworks(tree, result.updated);
     std::cout << "\ndevices changed: " << diff.devicesChanged << "/"
               << diff.totalDevices << ", lines changed: "

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <set>
 #include <thread>
 
 #include "core/subsolver.hpp"
+#include "simulate/engine.hpp"
 #include "simulate/simulator.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -209,6 +211,14 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
   // ---- solve (with simulator-validated repair rounds) ---------------------
   std::vector<std::vector<std::string>> blocked;  // shared across rounds
   std::vector<bool> needsSolve(groups.size(), true);
+
+  // Validation engine, persistent across repair rounds. Each round's tree is
+  // a short-lived local, so the engine keeps its own copy; between rounds it
+  // is re-bound with the old and new merged patches (both relative to the
+  // seed tree), invalidating only the destinations their differing edits can
+  // affect.
+  std::unique_ptr<SimulationEngine> simEngine;
+  Patch lastMerged;
 
   const std::size_t workers =
       options.workers != 0
@@ -425,8 +435,20 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       break;
     }
     const auto simulateStart = Clock::now();
-    Simulator sim(updated);
-    PolicySet violated = sim.violations(survivingPolicies);
+    PolicySet violated;
+    if (options.memoizedSimulator) {
+      if (simEngine == nullptr) {
+        simEngine = std::make_unique<SimulationEngine>(updated, options.workers);
+      } else {
+        simEngine->rebind(updated, {&lastMerged, &merged});
+      }
+      lastMerged = merged;
+      violated = simEngine->violations(survivingPolicies);
+      result.stats.simulate = simEngine->cacheStats();
+    } else {
+      Simulator sim(updated);
+      violated = sim.violations(survivingPolicies);
+    }
     phaseBucket.simulateSeconds += secondsSince(simulateStart);
     // Deterministic fault injection for repair-heavy scenarios: treat the
     // first rejectRounds passing verdicts as failures, so the blocking +

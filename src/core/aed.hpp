@@ -38,6 +38,7 @@
 #include "encode/encoder.hpp"
 #include "objectives/objective.hpp"
 #include "policy/policy.hpp"
+#include "simulate/engine.hpp"
 #include "sketch/sketch.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
@@ -94,6 +95,14 @@ struct AedOptions {
   /// failing delta set blocked, up to this many rounds per subproblem.
   bool validateWithSimulator = true;
   int maxRepairIterations = 3;
+
+  /// Validate with the memoized, parallel SimulationEngine instead of a
+  /// fresh serial Simulator each round. The engine persists across repair
+  /// rounds and invalidates only the destinations affected by the round's
+  /// merged patch, so repeat validations mostly hit the route-table cache.
+  /// Verdicts are bit-identical either way (asserted by tests); false keeps
+  /// the from-scratch oracle for A/B benchmarking.
+  bool memoizedSimulator = true;
 
   /// Incremental re-solve (the paper's headline lever, applied to the repair
   /// loop): keep one persistent SubproblemSolver — sketch, Z3 session, and
@@ -187,6 +196,10 @@ struct AedStats {
   /// run). Only persistent solvers can warm-start, so this stays 0 with
   /// incrementalResolve off.
   std::size_t warmStartSolves = 0;
+
+  /// Simulation-engine cache behavior across all validation rounds (zeroed
+  /// when memoizedSimulator is off or validation never ran).
+  SimCacheStats simulate;
 };
 
 struct AedResult {

@@ -1,0 +1,964 @@
+#include "simulate/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <thread>
+
+#include "conftree/node.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aed {
+
+namespace {
+
+constexpr std::size_t kNoRouter = static_cast<std::size_t>(-1);
+
+// Same edit identity as mergePatches() in core/aed.cpp: two edits with equal
+// keys produce identical tree mutations.
+std::string editKey(const Edit& edit) {
+  std::string key = std::to_string(static_cast<int>(edit.op)) + "|" +
+                    edit.targetPath + "|" +
+                    std::string(nodeKindName(edit.kind));
+  for (const auto& [k, v] : edit.attrs) key += "|" + k + "=" + v;
+  return key;
+}
+
+// True when a kSetAttr edit only rebinds packet filters on an interface —
+// those influence forwarding, never route tables.
+bool onlyPacketBindings(const std::map<std::string, std::string>& attrs) {
+  for (const auto& [key, value] : attrs) {
+    if (key != "pfilterIn" && key != "pfilterOut") return false;
+  }
+  return !attrs.empty();
+}
+
+// Walks up to the enclosing kRouter node (or null).
+const Node* enclosingRouter(const Node* node) {
+  while (node != nullptr && node->kind() != NodeKind::kRouter) {
+    node = node->parent();
+  }
+  return node;
+}
+
+// Destinations a router's connected routes can serve: interface subnets plus
+// non-static originated prefixes — the domain of deliversLocally().
+void appendConnectedPrefixes(const Node* router,
+                             std::vector<Ipv4Prefix>& out) {
+  if (router == nullptr) return;
+  for (const Node* iface : router->childrenOfKind(NodeKind::kInterface)) {
+    if (!iface->hasAttr("address")) continue;
+    const auto prefix = Ipv4Prefix::parse(iface->attr("address"));
+    if (prefix) out.push_back(*prefix);
+  }
+  for (const Node* proc : router->childrenOfKind(NodeKind::kRoutingProcess)) {
+    if (proc->attr("type") == "static") continue;
+    for (const Node* orig : proc->childrenOfKind(NodeKind::kOrigination)) {
+      const auto prefix = Ipv4Prefix::parse(orig->attr("prefix"));
+      if (prefix) out.push_back(*prefix);
+    }
+  }
+}
+
+// Destinations a router's static routes can serve.
+void appendStaticPrefixes(const Node* router, std::vector<Ipv4Prefix>& out) {
+  if (router == nullptr) return;
+  for (const Node* proc : router->childrenOfKind(NodeKind::kRoutingProcess)) {
+    if (proc->attr("type") != "static") continue;
+    for (const Node* orig : proc->childrenOfKind(NodeKind::kOrigination)) {
+      const auto prefix = Ipv4Prefix::parse(orig->attr("prefix"));
+      if (prefix) out.push_back(*prefix);
+    }
+  }
+}
+
+// Redistributing `from` into a proc on `routerName` only affects
+// destinations the source protocol can cover on that router: connected →
+// interface subnets + originated prefixes, static → static-route prefixes.
+// bgp/ospf sources can carry any route in the network, so they stay
+// unattributable.
+bool attributeRedistribution(const std::string& from,
+                             const std::string& routerName,
+                             const ConfigTree& oldTree,
+                             const ConfigTree& newTree,
+                             std::vector<Ipv4Prefix>& touched) {
+  if (from != "connected" && from != "static") return false;
+  for (const ConfigTree* tree : {&oldTree, &newTree}) {
+    const Node* router = tree->router(routerName);
+    if (router == nullptr) continue;
+    if (from == "connected") {
+      appendConnectedPrefixes(router, touched);
+    } else {
+      appendStaticPrefixes(router, touched);
+    }
+  }
+  return true;
+}
+
+// Attributes one edit to the destination prefixes whose route tables it can
+// affect, appending them to `touched`. Returns false when the edit cannot be
+// attributed (the caller must fall back to full invalidation). Packet-filter
+// edits are attributed to *nothing*: packet filters apply on the forwarding
+// walk, which is recomputed per query, and never shape route tables.
+bool classifyEdit(const Edit& edit, const ConfigTree& oldTree,
+                  const ConfigTree& newTree,
+                  std::vector<Ipv4Prefix>& touched) {
+  const auto addPrefix = [&touched](const std::string& text) {
+    const auto prefix = Ipv4Prefix::parse(text);
+    if (!prefix) return false;
+    touched.push_back(*prefix);
+    return true;
+  };
+  // The router owning the edit's target, resolved in whichever tree still
+  // has the path (an odd-count edit lives in exactly one round's patch, so
+  // the target may exist on either side of the rebind).
+  const auto targetRouterName = [&]() -> std::string {
+    const Node* node = oldTree.byPath(edit.targetPath);
+    if (node == nullptr) node = newTree.byPath(edit.targetPath);
+    const Node* router = enclosingRouter(node);
+    return router != nullptr ? router->name() : std::string();
+  };
+
+  if (edit.op == Edit::Op::kAddNode) {
+    switch (edit.kind) {
+      case NodeKind::kPacketFilter:
+      case NodeKind::kPacketFilterRule:
+        return true;
+      case NodeKind::kOrigination:
+      case NodeKind::kRouteFilterRule: {
+        const auto it = edit.attrs.find("prefix");
+        return it != edit.attrs.end() && addPrefix(it->second);
+      }
+      case NodeKind::kRedistribution: {
+        const auto it = edit.attrs.find("from");
+        const std::string router = targetRouterName();
+        return it != edit.attrs.end() && !router.empty() &&
+               attributeRedistribution(it->second, router, oldTree, newTree,
+                                       touched);
+      }
+      case NodeKind::kRoutingProcess:
+        // A freshly added process is empty — its originations, adjacencies
+        // and redistributions arrive as separate edits, each classified on
+        // its own. An empty process cannot source, carry, or attract
+        // routes (sessions require an adjacency on both ends).
+        return true;
+      default:
+        // New adjacencies, filters (an empty route filter flips a named
+        // import from permit-all to deny-all), interfaces, routers:
+        // route-relevant everywhere.
+        return false;
+    }
+  }
+
+  // kRemoveNode / kSetAttr reference an existing node. Between two repair
+  // rounds an edit may be present in only one of the two trees (a removal
+  // from the old round's patch is "re-added" in the new tree), so probe
+  // both.
+  const Node* oldNode = oldTree.byPath(edit.targetPath);
+  const Node* newNode = newTree.byPath(edit.targetPath);
+  const Node* probe = oldNode != nullptr ? oldNode : newNode;
+  if (probe == nullptr) return false;
+
+  switch (probe->kind()) {
+    case NodeKind::kPacketFilter:
+    case NodeKind::kPacketFilterRule:
+      return true;
+    case NodeKind::kOrigination:
+    case NodeKind::kRouteFilterRule: {
+      // A prefix change (kSetAttr) matters on both its old and new value.
+      bool attributed = true;
+      if (oldNode != nullptr && oldNode->hasAttr("prefix")) {
+        attributed = addPrefix(oldNode->attr("prefix")) && attributed;
+      }
+      if (newNode != nullptr && newNode->hasAttr("prefix")) {
+        attributed = addPrefix(newNode->attr("prefix")) && attributed;
+      }
+      return attributed && (oldNode != nullptr || newNode != nullptr);
+    }
+    case NodeKind::kRedistribution: {
+      const std::string router = targetRouterName();
+      if (router.empty()) return false;
+      for (const Node* node : {oldNode, newNode}) {
+        if (node == nullptr) continue;
+        if (!attributeRedistribution(node->attr("from"), router, oldTree,
+                                     newTree, touched)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeKind::kRoutingProcess: {
+      // Removing a process takes all its children with it in one edit, so
+      // they must be attributed here. Adjacencies stay unattributable (the
+      // peer's sessions change too).
+      if (edit.op != Edit::Op::kRemoveNode) return false;
+      const std::string router = targetRouterName();
+      if (router.empty()) return false;
+      for (const Node* node : {oldNode, newNode}) {
+        if (node == nullptr) continue;
+        if (!node->childrenOfKind(NodeKind::kAdjacency).empty()) return false;
+        for (const Node* redist :
+             node->childrenOfKind(NodeKind::kRedistribution)) {
+          if (!attributeRedistribution(redist->attr("from"), router, oldTree,
+                                       newTree, touched)) {
+            return false;
+          }
+        }
+        for (const Node* orig :
+             node->childrenOfKind(NodeKind::kOrigination)) {
+          if (!addPrefix(orig->attr("prefix"))) return false;
+        }
+      }
+      return true;
+    }
+    case NodeKind::kInterface:
+      return edit.op == Edit::Op::kSetAttr && onlyPacketBindings(edit.attrs);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool SimulationEngine::CompiledProc::originates(const Ipv4Prefix& dst) const {
+  for (const Ipv4Prefix& prefix : origPrefixes) {
+    if (prefix.contains(dst)) return true;
+  }
+  return false;
+}
+
+SimulationEngine::SimulationEngine(const ConfigTree& tree, std::size_t workers)
+    : tree_(tree.clone()), workers_(workers) {
+  compile();
+}
+
+SimulationEngine::~SimulationEngine() = default;
+
+void SimulationEngine::rebind(const ConfigTree& tree) {
+  invalidateAll();
+  ++fullInvalidations_;
+  tree_ = tree.clone();
+  compile();
+}
+
+void SimulationEngine::rebind(const ConfigTree& tree,
+                              const std::vector<const Patch*>& changes) {
+  // Edits present an even number of times across the given patches cancel
+  // out: both the old and the new tree have them applied identically, so
+  // they contribute no difference (the common case is scaffolding shared by
+  // consecutive repair rounds' merged patches).
+  std::map<std::string, std::pair<const Edit*, int>> counts;
+  for (const Patch* patch : changes) {
+    if (patch == nullptr) continue;
+    for (const Edit& edit : patch->edits()) {
+      auto& slot = counts[editKey(edit)];
+      slot.first = &edit;
+      ++slot.second;
+    }
+  }
+  bool full = false;
+  std::vector<Ipv4Prefix> touched;
+  for (const auto& [key, slot] : counts) {
+    if (slot.second % 2 == 0) continue;
+    if (!classifyEdit(*slot.first, tree_, tree, touched)) {
+      logDebug() << "engine: unattributable edit, full invalidation: " << key;
+      full = true;
+      break;
+    }
+  }
+  if (full) {
+    invalidateAll();
+    ++fullInvalidations_;
+  } else {
+    invalidatePrefixes(touched);
+    ++targetedInvalidations_;
+  }
+  tree_ = tree.clone();
+  compile();
+}
+
+void SimulationEngine::invalidateAll() {
+  const std::lock_guard<std::mutex> lock(shardsMutex_);
+  std::size_t dropped = 0;
+  for (const auto& [dst, shard] : shards_) dropped += shard->tables.size();
+  invalidatedEntries_ += dropped;
+  shards_.clear();
+}
+
+void SimulationEngine::invalidatePrefixes(
+    const std::vector<Ipv4Prefix>& prefixes) {
+  const std::lock_guard<std::mutex> lock(shardsMutex_);
+  std::size_t dropped = 0;
+  for (auto it = shards_.begin(); it != shards_.end();) {
+    const bool affected =
+        std::any_of(prefixes.begin(), prefixes.end(),
+                    [&it](const Ipv4Prefix& p) { return p.overlaps(it->first); });
+    if (affected) {
+      dropped += it->second->tables.size();
+      it = shards_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  invalidatedEntries_ += dropped;
+}
+
+void SimulationEngine::compile() {
+  topo_ = Topology::fromConfigs(tree_);
+  routers_.clear();
+  routerIndex_.clear();
+  routeFilters_.clear();
+  packetFilters_.clear();
+  stubs_.assign(topo_.stubSubnets().begin(), topo_.stubSubnets().end());
+
+  // Routers sorted by name: the oracle iterates a name-keyed map, and the
+  // Gauss-Seidel fixpoint sweep is order-sensitive, so bit-identical tables
+  // require the identical sweep order.
+  std::vector<const Node*> routerNodes;
+  for (const Node* node : tree_.routers()) routerNodes.push_back(node);
+  std::sort(routerNodes.begin(), routerNodes.end(),
+            [](const Node* a, const Node* b) { return a->name() < b->name(); });
+
+  routers_.resize(routerNodes.size());
+  for (std::size_t i = 0; i < routerNodes.size(); ++i) {
+    routers_[i].name = routerNodes[i]->name();
+    routerIndex_[routers_[i].name] = i;
+  }
+
+  // Raw adjacency info retained until every proc exists, so the symmetric
+  // session check (both ends configure the adjacency) can be pre-resolved.
+  struct RawAdj {
+    std::string peer;
+    int filter = -1;
+    int cost = 1;
+  };
+  std::vector<std::vector<std::string>> procTypes(routers_.size());
+  std::vector<std::vector<std::vector<RawAdj>>> rawAdjs(routers_.size());
+
+  std::map<const Node*, int> routeFilterCache;
+  const auto compileRouteFilter = [this, &routeFilterCache](const Node* filter) {
+    if (filter == nullptr) return -1;
+    const auto cached = routeFilterCache.find(filter);
+    if (cached != routeFilterCache.end()) return cached->second;
+    auto rules = filter->childrenOfKind(NodeKind::kRouteFilterRule);
+    std::sort(rules.begin(), rules.end(), [](const Node* a, const Node* b) {
+      return a->intAttr("seq") < b->intAttr("seq");
+    });
+    std::vector<CompiledRouteRule> compiled;
+    compiled.reserve(rules.size());
+    for (const Node* rule : rules) {
+      CompiledRouteRule r;
+      r.prefix = Ipv4Prefix::parse(rule->attr("prefix"));
+      r.deny = rule->attr("action") == "deny";
+      r.lp = rule->intAttr("lp", kDefaultLp);
+      r.med = rule->intAttr("med", kDefaultMed);
+      compiled.push_back(r);
+    }
+    const int index = static_cast<int>(routeFilters_.size());
+    routeFilters_.push_back(std::move(compiled));
+    routeFilterCache[filter] = index;
+    return index;
+  };
+
+  std::map<const Node*, int> packetFilterCache;
+  const auto compilePacketFilter =
+      [this, &packetFilterCache](const Node* filter) {
+        if (filter == nullptr) return -1;
+        const auto cached = packetFilterCache.find(filter);
+        if (cached != packetFilterCache.end()) return cached->second;
+        auto rules = filter->childrenOfKind(NodeKind::kPacketFilterRule);
+        std::sort(rules.begin(), rules.end(),
+                  [](const Node* a, const Node* b) {
+                    return a->intAttr("seq") < b->intAttr("seq");
+                  });
+        std::vector<CompiledPacketRule> compiled;
+        compiled.reserve(rules.size());
+        for (const Node* rule : rules) {
+          CompiledPacketRule r;
+          r.srcPrefix = Ipv4Prefix::parse(rule->attr("srcPrefix"));
+          r.dstPrefix = Ipv4Prefix::parse(rule->attr("dstPrefix"));
+          r.permit = rule->attr("action") == "permit";
+          compiled.push_back(r);
+        }
+        const int index = static_cast<int>(packetFilters_.size());
+        packetFilters_.push_back(std::move(compiled));
+        packetFilterCache[filter] = index;
+        return index;
+      };
+
+  for (std::size_t ri = 0; ri < routerNodes.size(); ++ri) {
+    const Node* node = routerNodes[ri];
+    CompiledRouter& router = routers_[ri];
+
+    for (const auto& [subnet, owner] : stubs_) {
+      if (owner == router.name) router.localPrefixes.push_back(subnet);
+    }
+
+    for (const Node* proc : node->childrenOfKind(NodeKind::kRoutingProcess)) {
+      const std::string type = proc->attr("type");
+      if (type == "static") {
+        for (const Node* orig :
+             proc->childrenOfKind(NodeKind::kOrigination)) {
+          const auto prefix = Ipv4Prefix::parse(orig->attr("prefix"));
+          const auto nexthop = Ipv4Address::parse(orig->attr("nexthop"));
+          if (!prefix || !nexthop) continue;
+          CompiledStatic entry;
+          entry.prefix = *prefix;
+          for (const std::string& neighbor : topo_.neighborsOf(router.name)) {
+            const auto link = topo_.linkBetween(router.name, neighbor);
+            if (!link || !link->subnet.contains(*nexthop)) continue;
+            const auto peerAddr = topo_.addressOn(neighbor, router.name);
+            if (!peerAddr || *peerAddr != *nexthop) continue;
+            const auto peerIdx = routerIndex_.find(neighbor);
+            if (peerIdx == routerIndex_.end()) continue;
+            entry.candidates.push_back(peerIdx->second);
+          }
+          router.statics.push_back(std::move(entry));
+        }
+        continue;
+      }
+
+      CompiledProc info;
+      info.isBgp = type == "bgp";
+      for (const Node* orig : proc->childrenOfKind(NodeKind::kOrigination)) {
+        const auto prefix = Ipv4Prefix::parse(orig->attr("prefix"));
+        if (prefix) {
+          info.origPrefixes.push_back(*prefix);
+          router.localPrefixes.push_back(*prefix);
+        }
+      }
+      for (const Node* redist :
+           proc->childrenOfKind(NodeKind::kRedistribution)) {
+        info.redistributeFrom.push_back(redist->attr("from"));
+      }
+      std::vector<RawAdj> raw;
+      for (const Node* adj : proc->childrenOfKind(NodeKind::kAdjacency)) {
+        RawAdj ra;
+        ra.peer = adj->attr("peer");
+        ra.filter = adj->hasAttr("filterIn")
+                        ? compileRouteFilter(proc->findChild(
+                              NodeKind::kRouteFilter, adj->attr("filterIn")))
+                        : -1;
+        if (type == "ospf" && adj->hasAttr("cost")) {
+          ra.cost = adj->intAttr("cost");
+        }
+        raw.push_back(std::move(ra));
+      }
+      procTypes[ri].push_back(type);
+      rawAdjs[ri].push_back(std::move(raw));
+      router.procs.push_back(std::move(info));
+    }
+
+    // Packet-filter bindings for each interface facing a neighbor.
+    for (const std::string& neighbor : topo_.neighborsOf(router.name)) {
+      const auto link = topo_.linkBetween(router.name, neighbor);
+      if (!link) continue;
+      const auto peerIdx = routerIndex_.find(neighbor);
+      if (peerIdx == routerIndex_.end()) continue;
+      const std::string& ifaceName =
+          link->a == router.name ? link->ifaceA : link->ifaceB;
+      const Node* iface = node->findChild(NodeKind::kInterface, ifaceName);
+      if (iface == nullptr) continue;
+      PacketBinding binding;
+      if (iface->hasAttr("pfilterOut")) {
+        binding.out = compilePacketFilter(
+            node->findChild(NodeKind::kPacketFilter, iface->attr("pfilterOut")));
+      }
+      if (iface->hasAttr("pfilterIn")) {
+        binding.in = compilePacketFilter(
+            node->findChild(NodeKind::kPacketFilter, iface->attr("pfilterIn")));
+      }
+      router.bindings[peerIdx->second] = binding;
+    }
+  }
+
+  // Resolve adjacencies to (peer router, peer proc) pairs, keeping only
+  // viable sessions: a physically connected peer that runs a process of the
+  // same type and configures the adjacency back (the oracle re-checks all of
+  // this per candidate per iteration).
+  const auto peerProcOf = [&](std::size_t peerRouter, const std::string& type,
+                              const std::string& backTo) -> int {
+    for (std::size_t pi = 0; pi < procTypes[peerRouter].size(); ++pi) {
+      if (procTypes[peerRouter][pi] != type) continue;
+      for (const RawAdj& ra : rawAdjs[peerRouter][pi]) {
+        if (ra.peer == backTo) return static_cast<int>(pi);
+      }
+    }
+    return -1;
+  };
+  for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+    for (std::size_t pi = 0; pi < routers_[ri].procs.size(); ++pi) {
+      for (const RawAdj& ra : rawAdjs[ri][pi]) {
+        const auto peerIt = routerIndex_.find(ra.peer);
+        if (peerIt == routerIndex_.end()) continue;
+        if (!topo_.connected(routers_[ri].name, ra.peer)) continue;
+        const int peerProc =
+            peerProcOf(peerIt->second, procTypes[ri][pi], routers_[ri].name);
+        if (peerProc < 0) continue;
+        CompiledAdjacency adj;
+        adj.peerRouter = peerIt->second;
+        adj.peerProc = static_cast<std::size_t>(peerProc);
+        adj.filter = ra.filter;
+        adj.cost = ra.cost;
+        routers_[ri].procs[pi].adjacencies.push_back(adj);
+      }
+    }
+  }
+}
+
+std::size_t SimulationEngine::routerIndex(const std::string& name) const {
+  const auto it = routerIndex_.find(name);
+  return it == routerIndex_.end() ? kNoRouter : it->second;
+}
+
+bool SimulationEngine::deliversLocally(const std::string& router,
+                                       const Ipv4Prefix& dst) const {
+  const std::size_t index = routerIndex(router);
+  if (index == kNoRouter) return false;
+  for (const Ipv4Prefix& prefix : routers_[index].localPrefixes) {
+    if (prefix.contains(dst)) return true;
+  }
+  return false;
+}
+
+RouteEntry SimulationEngine::resolveStatic(const CompiledRouter& router,
+                                           const Ipv4Prefix& dst,
+                                           const Environment& env) const {
+  RouteEntry entry;
+  for (const CompiledStatic& route : router.statics) {
+    if (!route.prefix.contains(dst)) continue;
+    for (const std::size_t candidate : route.candidates) {
+      if (!env.linkUp(router.name, routers_[candidate].name)) continue;
+      entry.valid = true;
+      entry.ad = kAdStatic;
+      entry.protocol = "static";
+      entry.viaNeighbor = routers_[candidate].name;
+      entry.cost = 0;
+      return entry;
+    }
+  }
+  return entry;
+}
+
+std::map<std::string, RouteEntry> SimulationEngine::convergeRoutes(
+    const Ipv4Prefix& dst, const Environment& env) const {
+  // Mirrors Simulator::computeRoutes step for step (same sweep order, same
+  // candidate order, same tie-breaks) over the compiled structure; see the
+  // equivalence suite in tests/engine_test.cpp.
+  const auto applyFilter =
+      [this, &dst](int filter) -> std::optional<std::pair<int, int>> {
+    if (filter < 0) return std::pair(kDefaultLp, kDefaultMed);
+    for (const CompiledRouteRule& rule : routeFilters_[filter]) {
+      if (!rule.prefix || !rule.prefix->contains(dst)) continue;
+      if (rule.deny) return std::nullopt;
+      return std::pair(rule.lp, rule.med);
+    }
+    return std::nullopt;  // implicit deny
+  };
+
+  std::vector<std::vector<RouteEntry>> state(routers_.size());
+  for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+    state[ri].resize(routers_[ri].procs.size());
+  }
+
+  const int maxIterations =
+      4 * static_cast<int>(routers_.size()) + 8;
+  bool changed = true;
+  int iteration = 0;
+  while (changed && iteration++ < maxIterations) {
+    changed = false;
+    for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+      const CompiledRouter& router = routers_[ri];
+      for (std::size_t pi = 0; pi < router.procs.size(); ++pi) {
+        const CompiledProc& proc = router.procs[pi];
+        const auto better = [&proc](const RouteEntry& a, const RouteEntry& b) {
+          return proc.isBgp ? bgpRouteBetter(a, b) : ospfRouteBetter(a, b);
+        };
+        RouteEntry best;
+        if (proc.originates(dst)) {
+          RouteEntry orig;
+          orig.valid = true;
+          orig.cost = 0;
+          orig.lp = kDefaultLp;
+          orig.protocol = proc.isBgp ? "bgp" : "ospf";
+          orig.ad = proc.isBgp ? kAdBgp : kAdOspf;
+          if (better(orig, best)) best = orig;
+        }
+        for (const std::string& from : proc.redistributeFrom) {
+          bool sourceValid = false;
+          if (from == "connected") {
+            sourceValid = deliversLocally(router.name, dst);
+          } else if (from == "static") {
+            sourceValid = resolveStatic(router, dst, env).valid;
+          } else {
+            for (std::size_t si = 0; si < router.procs.size(); ++si) {
+              const bool typeMatches =
+                  router.procs[si].isBgp ? from == "bgp" : from == "ospf";
+              if (typeMatches && state[ri][si].valid) {
+                sourceValid = true;
+                break;
+              }
+            }
+          }
+          if (sourceValid) {
+            RouteEntry redist;
+            redist.valid = true;
+            redist.cost = 0;
+            redist.lp = kDefaultLp;
+            redist.protocol = proc.isBgp ? "bgp" : "ospf";
+            redist.ad = proc.isBgp ? kAdBgp : kAdOspf;
+            if (better(redist, best)) best = redist;
+          }
+        }
+        for (const CompiledAdjacency& adj : proc.adjacencies) {
+          if (!env.linkUp(router.name, routers_[adj.peerRouter].name)) {
+            continue;
+          }
+          const RouteEntry& peerBest = state[adj.peerRouter][adj.peerProc];
+          if (!peerBest.valid) continue;
+          // Split horizon, as in the oracle (see the comment there).
+          if (peerBest.viaNeighbor == router.name) continue;
+          const auto action = applyFilter(adj.filter);
+          if (!action) continue;
+          RouteEntry in;
+          in.valid = true;
+          in.cost = peerBest.cost + adj.cost;
+          in.lp = proc.isBgp ? action->first : kDefaultLp;
+          in.med = proc.isBgp ? action->second : kDefaultMed;
+          in.protocol = proc.isBgp ? "bgp" : "ospf";
+          in.ad = proc.isBgp ? kAdBgp : kAdOspf;
+          in.viaNeighbor = routers_[adj.peerRouter].name;
+          if (better(in, best)) best = in;
+        }
+        if (!(state[ri][pi] == best)) {
+          state[ri][pi] = std::move(best);
+          changed = true;
+        }
+      }
+    }
+  }
+  if (changed) {
+    logWarn() << "route computation for " << dst.str()
+              << " did not converge within " << maxIterations
+              << " iterations";
+  }
+
+  std::map<std::string, RouteEntry> result;
+  for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+    const CompiledRouter& router = routers_[ri];
+    RouteEntry best;
+    if (deliversLocally(router.name, dst)) {
+      best.valid = true;
+      best.ad = kAdConnected;
+      best.protocol = "connected";
+      result[router.name] = best;
+      continue;
+    }
+    const RouteEntry stat = resolveStatic(router, dst, env);
+    if (stat.valid) best = stat;
+    for (std::size_t pi = 0; pi < router.procs.size(); ++pi) {
+      const RouteEntry& entry = state[ri][pi];
+      if (entry.valid && (!best.valid || entry.ad < best.ad)) best = entry;
+    }
+    result[router.name] = best;
+  }
+  return result;
+}
+
+SimulationEngine::DstShard& SimulationEngine::shardFor(
+    const Ipv4Prefix& dst) const {
+  const std::lock_guard<std::mutex> lock(shardsMutex_);
+  auto& slot = shards_[dst];
+  if (slot == nullptr) slot = std::make_unique<DstShard>();
+  return *slot;
+}
+
+const std::map<std::string, RouteEntry>& SimulationEngine::computeRoutes(
+    const Ipv4Prefix& dst, const Environment& env) const {
+  DstShard& shard = shardFor(dst);
+  // Canonicalize the link-pair orientation so {A,B} and {B,A} share an
+  // entry (linkUp treats them identically).
+  EnvKey key;
+  key.reserve(env.downLinks.size());
+  for (const auto& [a, b] : env.downLinks) {
+    key.push_back(a < b ? std::pair(a, b) : std::pair(b, a));
+  }
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.tables.find(key);
+  if (it != shard.tables.end()) {
+    routeHits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  routeMisses_.fetch_add(1, std::memory_order_relaxed);
+  return shard.tables.emplace(std::move(key), convergeRoutes(dst, env))
+      .first->second;
+}
+
+std::vector<std::string> SimulationEngine::sourceRouters(
+    const TrafficClass& cls) const {
+  std::vector<std::string> out;
+  for (const auto& [subnet, router] : stubs_) {
+    if (subnet.overlaps(cls.src)) out.push_back(router);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool SimulationEngine::packetAllowed(int filter,
+                                     const TrafficClass& cls) const {
+  if (filter < 0) return true;
+  for (const CompiledPacketRule& rule : packetFilters_[filter]) {
+    if (!rule.srcPrefix || !rule.dstPrefix) continue;
+    if (rule.srcPrefix->contains(cls.src) && rule.dstPrefix->contains(cls.dst)) {
+      return rule.permit;
+    }
+  }
+  return false;  // implicit deny
+}
+
+ForwardResult SimulationEngine::forward(const TrafficClass& cls,
+                                        const std::string& srcRouter,
+                                        const Environment& env) const {
+  ForwardResult result;
+  const auto& routes = computeRoutes(cls.dst, env);
+
+  const auto bindingBetween = [this](std::size_t from,
+                                     std::size_t to) -> PacketBinding {
+    if (from == kNoRouter || to == kNoRouter) return {};
+    const auto it = routers_[from].bindings.find(to);
+    return it == routers_[from].bindings.end() ? PacketBinding{} : it->second;
+  };
+
+  std::string current = srcRouter;
+  std::set<std::string> visited;
+  result.path.push_back(current);
+  while (true) {
+    if (!visited.insert(current).second) {
+      result.dropReason = "forwarding loop at " + current;
+      return result;
+    }
+    if (deliversLocally(current, cls.dst)) {
+      result.delivered = true;
+      return result;
+    }
+    const auto it = routes.find(current);
+    if (it == routes.end() || !it->second.valid ||
+        it->second.viaNeighbor.empty()) {
+      result.dropReason = "no route at " + current;
+      return result;
+    }
+    const std::string& next = it->second.viaNeighbor;
+    if (!env.linkUp(current, next)) {
+      result.dropReason = "link down " + current + "-" + next;
+      return result;
+    }
+    const std::size_t currentIdx = routerIndex(current);
+    const std::size_t nextIdx = routerIndex(next);
+    if (!packetAllowed(bindingBetween(currentIdx, nextIdx).out, cls)) {
+      result.dropReason = "egress filter at " + current;
+      return result;
+    }
+    if (!packetAllowed(bindingBetween(nextIdx, currentIdx).in, cls)) {
+      result.dropReason = "ingress filter at " + next;
+      return result;
+    }
+    current = next;
+    result.path.push_back(current);
+  }
+}
+
+bool SimulationEngine::checkPolicy(const Policy& policy) const {
+  const auto sources = sourceRouters(policy.cls);
+  if (const auto quick = structuralPolicyCheck(policy, sources)) return *quick;
+  switch (policy.kind) {
+    case PolicyKind::kReachability: {
+      return std::all_of(sources.begin(), sources.end(),
+                         [this, &policy](const std::string& src) {
+                           return forward(policy.cls, src).delivered;
+                         });
+    }
+    case PolicyKind::kBlocking: {
+      return std::none_of(sources.begin(), sources.end(),
+                          [this, &policy](const std::string& src) {
+                            return forward(policy.cls, src).delivered;
+                          });
+    }
+    case PolicyKind::kWaypoint: {
+      for (const std::string& src : sources) {
+        const ForwardResult fwd = forward(policy.cls, src);
+        if (!fwd.delivered) return false;
+        for (const std::string& waypoint : policy.waypoints) {
+          if (std::find(fwd.path.begin(), fwd.path.end(), waypoint) ==
+              fwd.path.end()) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    case PolicyKind::kPathPreference: {
+      const std::string& start = policy.primaryPath.front();
+      const ForwardResult healthy = forward(policy.cls, start);
+      if (!healthy.delivered || healthy.path != policy.primaryPath) {
+        return false;
+      }
+      const Environment failed = Environment::withDownLink(
+          policy.primaryPath[0], policy.primaryPath[1]);
+      const ForwardResult broken = forward(policy.cls, start, failed);
+      return broken.delivered && broken.path == policy.alternatePath;
+    }
+    case PolicyKind::kIsolation: {
+      const auto edgesOf = [this](const TrafficClass& cls) {
+        std::set<std::pair<std::string, std::string>> edges;
+        for (const std::string& src : sourceRouters(cls)) {
+          const ForwardResult fwd = forward(cls, src);
+          for (std::size_t i = 0; i + 1 < fwd.path.size(); ++i) {
+            edges.insert({fwd.path[i], fwd.path[i + 1]});
+          }
+        }
+        return edges;
+      };
+      const auto a = edgesOf(policy.cls);
+      const auto b = edgesOf(policy.otherCls);
+      return std::none_of(a.begin(), a.end(), [&b](const auto& edge) {
+        return b.count(edge) != 0;
+      });
+    }
+  }
+  return false;
+}
+
+ThreadPool& SimulationEngine::pool() const {
+  std::call_once(poolOnce_, [this] {
+    const std::size_t count =
+        workers_ != 0
+            ? workers_
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(count);
+  });
+  return *pool_;
+}
+
+PolicySet SimulationEngine::violations(const PolicySet& policies) const {
+  // Verdict slots indexed by input position: tasks write disjoint slots and
+  // the final merge reads them in input order, so the returned violation
+  // order is identical to the serial oracle's regardless of scheduling.
+  std::vector<char> violated(policies.size(), 0);
+  std::map<Ipv4Prefix, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto quick =
+        structuralPolicyCheck(policies[i], sourceRouters(policies[i].cls));
+    if (quick) {
+      violated[i] = !*quick;
+      continue;
+    }
+    groups[policies[i].cls.dst].push_back(i);
+  }
+
+  const std::size_t workerLimit =
+      workers_ != 0
+          ? workers_
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (groups.size() > 1 && workerLimit > 1) {
+    parallelBatches_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (auto& [dst, indices] : groups) {
+      const std::vector<std::size_t>* slot = &indices;
+      tasks.push_back([this, &policies, &violated, slot] {
+        for (const std::size_t i : *slot) {
+          violated[i] = !checkPolicy(policies[i]);
+        }
+      });
+    }
+    parallelTasks_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    pool().runAll(std::move(tasks));
+  } else {
+    for (const auto& [dst, indices] : groups) {
+      for (const std::size_t i : indices) {
+        violated[i] = !checkPolicy(policies[i]);
+      }
+    }
+  }
+
+  PolicySet result;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (violated[i]) result.push_back(policies[i]);
+  }
+  return result;
+}
+
+PolicySet SimulationEngine::inferReachabilityPolicies() const {
+  const std::size_t n = stubs_.size();
+  std::vector<char> delivered(n * n, 0);
+  const auto probe = [this, n, &delivered](std::size_t dstIdx) {
+    for (std::size_t srcIdx = 0; srcIdx < n; ++srcIdx) {
+      if (srcIdx == dstIdx) continue;
+      const TrafficClass cls{stubs_[srcIdx].first, stubs_[dstIdx].first};
+      delivered[srcIdx * n + dstIdx] =
+          forward(cls, stubs_[srcIdx].second).delivered;
+    }
+  };
+
+  const std::size_t workerLimit =
+      workers_ != 0
+          ? workers_
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (n > 2 && workerLimit > 1) {
+    parallelBatches_.fetch_add(1, std::memory_order_relaxed);
+    parallelTasks_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t dstIdx = 0; dstIdx < n; ++dstIdx) {
+      tasks.push_back([&probe, dstIdx] { probe(dstIdx); });
+    }
+    pool().runAll(std::move(tasks));
+  } else {
+    for (std::size_t dstIdx = 0; dstIdx < n; ++dstIdx) probe(dstIdx);
+  }
+
+  // Assemble in the oracle's (src, dst) iteration order.
+  PolicySet policies;
+  for (std::size_t srcIdx = 0; srcIdx < n; ++srcIdx) {
+    for (std::size_t dstIdx = 0; dstIdx < n; ++dstIdx) {
+      if (srcIdx == dstIdx) continue;
+      const TrafficClass cls{stubs_[srcIdx].first, stubs_[dstIdx].first};
+      policies.push_back(delivered[srcIdx * n + dstIdx]
+                             ? Policy::reachability(cls)
+                             : Policy::blocking(cls));
+    }
+  }
+  return policies;
+}
+
+SimCacheStats SimulationEngine::cacheStats() const {
+  SimCacheStats stats;
+  stats.routeHits = routeHits_.load(std::memory_order_relaxed);
+  stats.routeMisses = routeMisses_.load(std::memory_order_relaxed);
+  stats.invalidatedEntries =
+      invalidatedEntries_.load(std::memory_order_relaxed);
+  stats.fullInvalidations =
+      fullInvalidations_.load(std::memory_order_relaxed);
+  stats.targetedInvalidations =
+      targetedInvalidations_.load(std::memory_order_relaxed);
+  stats.parallelBatches = parallelBatches_.load(std::memory_order_relaxed);
+  stats.parallelTasks = parallelTasks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SimulationEngine::resetCacheStats() {
+  routeHits_.store(0, std::memory_order_relaxed);
+  routeMisses_.store(0, std::memory_order_relaxed);
+  invalidatedEntries_.store(0, std::memory_order_relaxed);
+  fullInvalidations_.store(0, std::memory_order_relaxed);
+  targetedInvalidations_.store(0, std::memory_order_relaxed);
+  parallelBatches_.store(0, std::memory_order_relaxed);
+  parallelTasks_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace aed

@@ -63,10 +63,17 @@ bool packetFilterAllows(const Node* filter, const TrafficClass& cls) {
   return false;  // implicit deny
 }
 
+bool protocolBetter(const std::string& type, const RouteEntry& a,
+                    const RouteEntry& b) {
+  return type == "bgp" ? bgpRouteBetter(a, b) : ospfRouteBetter(a, b);
+}
+
+}  // namespace
+
 // BGP preference: higher lp, then lower path cost, then lower med, then
 // lower neighbor name (§2: "highest local preference; if they are equal,
 // then the shortest path length, and so on").
-bool bgpBetter(const RouteEntry& a, const RouteEntry& b) {
+bool bgpRouteBetter(const RouteEntry& a, const RouteEntry& b) {
   if (!b.valid) return a.valid;
   if (!a.valid) return false;
   if (a.lp != b.lp) return a.lp > b.lp;
@@ -76,26 +83,38 @@ bool bgpBetter(const RouteEntry& a, const RouteEntry& b) {
 }
 
 // OSPF preference: lower cost, then lower neighbor name.
-bool ospfBetter(const RouteEntry& a, const RouteEntry& b) {
+bool ospfRouteBetter(const RouteEntry& a, const RouteEntry& b) {
   if (!b.valid) return a.valid;
   if (!a.valid) return false;
   if (a.cost != b.cost) return a.cost < b.cost;
   return a.viaNeighbor < b.viaNeighbor;
 }
 
-bool protocolBetter(const std::string& type, const RouteEntry& a,
-                    const RouteEntry& b) {
-  return type == "bgp" ? bgpBetter(a, b) : ospfBetter(a, b);
+std::optional<bool> structuralPolicyCheck(
+    const Policy& policy, const std::vector<std::string>& sourceRouters) {
+  switch (policy.kind) {
+    case PolicyKind::kReachability:
+    case PolicyKind::kWaypoint:
+      if (sourceRouters.empty()) return false;
+      return std::nullopt;
+    case PolicyKind::kBlocking:
+      if (sourceRouters.empty()) return true;
+      return std::nullopt;
+    case PolicyKind::kIsolation:
+      // The first class's edge set is empty: nothing to share.
+      if (sourceRouters.empty()) return true;
+      return std::nullopt;
+    case PolicyKind::kPathPreference:
+      // A primary path needs at least two routers: the policy's failure
+      // environment downs the primary's *first link*, which a
+      // single-router path does not have.
+      if (policy.primaryPath.size() < 2 || policy.alternatePath.empty()) {
+        return false;
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
-
-bool sameEntry(const RouteEntry& a, const RouteEntry& b) {
-  return a.valid == b.valid && a.lp == b.lp && a.med == b.med &&
-         a.cost == b.cost &&
-         a.viaNeighbor == b.viaNeighbor && a.protocol == b.protocol &&
-         a.ad == b.ad;
-}
-
-}  // namespace
 
 Simulator::Simulator(const ConfigTree& tree)
     : tree_(tree), topo_(Topology::fromConfigs(tree)) {}
@@ -284,7 +303,7 @@ std::map<std::string, RouteEntry> Simulator::computeRoutes(
           if (protocolBetter(info.type, in, best)) best = in;
         }
         ProcState& procState = state[{routerName, info.type}];
-        if (!sameEntry(procState.best, best)) {
+        if (!(procState.best == best)) {
           procState.best = best;
           changed = true;
         }
@@ -401,9 +420,9 @@ ForwardResult Simulator::forward(const TrafficClass& cls,
 
 bool Simulator::checkPolicy(const Policy& policy) const {
   const auto sources = sourceRouters(policy.cls);
+  if (const auto quick = structuralPolicyCheck(policy, sources)) return *quick;
   switch (policy.kind) {
     case PolicyKind::kReachability: {
-      if (sources.empty()) return false;
       return std::all_of(sources.begin(), sources.end(),
                          [this, &policy](const std::string& src) {
                            return forward(policy.cls, src).delivered;
@@ -416,7 +435,6 @@ bool Simulator::checkPolicy(const Policy& policy) const {
                           });
     }
     case PolicyKind::kWaypoint: {
-      if (sources.empty()) return false;
       for (const std::string& src : sources) {
         const ForwardResult fwd = forward(policy.cls, src);
         if (!fwd.delivered) return false;
@@ -430,9 +448,8 @@ bool Simulator::checkPolicy(const Policy& policy) const {
       return true;
     }
     case PolicyKind::kPathPreference: {
-      if (policy.primaryPath.empty() || policy.alternatePath.empty()) {
-        return false;
-      }
+      // structuralPolicyCheck guarantees primaryPath.size() >= 2 here, so
+      // indexing [0] and [1] below is in bounds.
       const std::string& start = policy.primaryPath.front();
       const ForwardResult healthy = forward(policy.cls, start);
       if (!healthy.delivered || healthy.path != policy.primaryPath) {
@@ -467,7 +484,12 @@ bool Simulator::checkPolicy(const Policy& policy) const {
 PolicySet Simulator::violations(const PolicySet& policies) const {
   PolicySet violated;
   for (const Policy& policy : policies) {
-    if (!checkPolicy(policy)) violated.push_back(policy);
+    // Settle structurally-decidable policies (empty source sets, malformed
+    // path-preference paths) without touching route computation; checkPolicy
+    // applies the identical fast path, so verdicts cannot diverge.
+    const auto quick = structuralPolicyCheck(policy, sourceRouters(policy.cls));
+    const bool satisfied = quick ? *quick : checkPolicy(policy);
+    if (!satisfied) violated.push_back(policy);
   }
   return violated;
 }

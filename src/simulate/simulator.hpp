@@ -52,7 +52,17 @@ struct RouteEntry {
   int cost = 0;          // hop count / OSPF cost
   std::string protocol;  // "connected", "static", "bgp", "ospf"
   std::string viaNeighbor;  // next-hop router name; "" if local delivery
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
 };
+
+/// Protocol preference orders (§2: highest local preference, then shortest
+/// path, then lowest MED, then deterministic neighbor tie-break for BGP;
+/// lowest cost then neighbor tie-break for OSPF). Shared by the serial
+/// oracle and the memoized SimulationEngine so their tie-breaks agree
+/// bit-for-bit.
+bool bgpRouteBetter(const RouteEntry& a, const RouteEntry& b);
+bool ospfRouteBetter(const RouteEntry& a, const RouteEntry& b);
 
 /// A set of failed links, keyed by unordered router pair. Used by
 /// path-preference policies ("alternate path taken when primary is down").
@@ -104,7 +114,9 @@ class Simulator {
   /// path-preference policies).
   bool checkPolicy(const Policy& policy) const;
 
-  /// All policies from `policies` that the configuration violates.
+  /// All policies from `policies` that the configuration violates, in the
+  /// input order. Policies decidable structurally (see
+  /// structuralPolicyCheck) are settled without running forwarding.
   PolicySet violations(const PolicySet& policies) const;
 
   /// Infers the reachability/blocking status of every ordered pair of stub
@@ -117,5 +129,19 @@ class Simulator {
   const ConfigTree& tree_;
   Topology topo_;
 };
+
+/// Cheap structural verdict for `policy` given its source routers — the
+/// rejections (and acceptances) decidable without computing any routes:
+///   * reachability / waypoint with no source router: unsatisfied;
+///   * blocking with no source router: satisfied (nothing can leak);
+///   * isolation with no source router for the first class: satisfied
+///     (its edge set is empty);
+///   * path preference whose primary path has fewer than two hops or whose
+///     alternate path is empty: unsatisfied (a failure environment for the
+///     primary's first link cannot even be formed).
+/// Returns nullopt when a full forwarding simulation is required. Shared by
+/// Simulator and SimulationEngine so their fast paths agree bit-for-bit.
+std::optional<bool> structuralPolicyCheck(
+    const Policy& policy, const std::vector<std::string>& sourceRouters);
 
 }  // namespace aed

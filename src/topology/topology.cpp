@@ -60,6 +60,13 @@ Topology Topology::fromConfigs(const ConfigTree& tree) {
                      "links and stub subnets are modeled");
     }
   }
+  for (const Link& link : topo.links_) {
+    topo.neighborIndex_[link.a].push_back(link.b);
+    topo.neighborIndex_[link.b].push_back(link.a);
+  }
+  for (auto& [router, list] : topo.neighborIndex_) {
+    std::sort(list.begin(), list.end());
+  }
   return topo;
 }
 
@@ -72,13 +79,14 @@ bool Topology::connected(const std::string& a, const std::string& b) const {
 }
 
 std::vector<std::string> Topology::neighbors(const std::string& router) const {
-  std::vector<std::string> out;
-  for (const Link& link : links_) {
-    if (link.a == router) out.push_back(link.b);
-    if (link.b == router) out.push_back(link.a);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return neighborsOf(router);
+}
+
+const std::vector<std::string>& Topology::neighborsOf(
+    const std::string& router) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = neighborIndex_.find(router);
+  return it == neighborIndex_.end() ? kEmpty : it->second;
 }
 
 std::optional<Link> Topology::linkBetween(const std::string& a,

@@ -47,6 +47,11 @@ class Topology {
   bool connected(const std::string& a, const std::string& b) const;
   /// Neighbor router names of `router`, sorted.
   std::vector<std::string> neighbors(const std::string& router) const;
+  /// Same, but returns a reference into a precomputed index (built once in
+  /// fromConfigs) instead of rescanning every link per call — the form the
+  /// simulation hot paths use. The reference stays valid for the topology's
+  /// lifetime; routers with no links map to a shared empty vector.
+  const std::vector<std::string>& neighborsOf(const std::string& router) const;
   /// The link between a and b, if any.
   std::optional<Link> linkBetween(const std::string& a,
                                   const std::string& b) const;
@@ -75,6 +80,7 @@ class Topology {
   std::map<std::pair<std::string, std::string>, std::size_t> linkIndex_;
   std::map<Ipv4Prefix, std::string> stubs_;
   std::vector<TopoInterface> interfaces_;
+  std::map<std::string, std::vector<std::string>> neighborIndex_;
 };
 
 }  // namespace aed

@@ -35,12 +35,10 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void runParallel(std::vector<std::function<void()>> tasks,
-                 std::size_t workers) {
-  ThreadPool pool(workers);
+void ThreadPool::runAll(std::vector<std::function<void()>> tasks) {
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
-  for (auto& task : tasks) futures.push_back(pool.submit(std::move(task)));
+  for (auto& task : tasks) futures.push_back(submit(std::move(task)));
   // Collect every future before rethrowing: a task that throws must not
   // abandon its in-flight siblings (their futures would be destroyed while
   // the pool still runs them, and their exceptions would be lost).
@@ -53,6 +51,12 @@ void runParallel(std::vector<std::function<void()>> tasks,
     }
   }
   if (first) std::rethrow_exception(first);
+}
+
+void runParallel(std::vector<std::function<void()>> tasks,
+                 std::size_t workers) {
+  ThreadPool pool(workers);
+  pool.runAll(std::move(tasks));
 }
 
 }  // namespace aed

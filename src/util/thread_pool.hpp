@@ -42,6 +42,14 @@ class ThreadPool {
 
   std::size_t workerCount() const { return threads_.size(); }
 
+  /// Submits every task and blocks until all have finished. Every future is
+  /// collected before the first exception (if any) is rethrown, so a
+  /// throwing task never abandons in-flight siblings. The reusable-pool
+  /// counterpart of runParallel() — callers that fan out repeatedly (e.g.
+  /// the simulation engine) keep one pool alive instead of re-spawning
+  /// threads per batch.
+  void runAll(std::vector<std::function<void()>> tasks);
+
  private:
   void workerLoop();
 

@@ -322,5 +322,57 @@ TEST(SimulatorPathPref, PrimaryThenAlternate) {
       cls("1.0.0.0/16", "2.0.0.0/16"), {"S", "Y", "T"}, {"S", "X", "T"})));
 }
 
+// Regression: a single-router primary path used to index primaryPath[1]
+// after only checking empty(), reading out of bounds. Such a policy has no
+// first link to fail, so it must simply be unsatisfied.
+TEST(SimulatorPathPref, SingleRouterPrimaryPathIsUnsatisfied) {
+  const std::string text =
+      "hostname A\n"
+      "interface hostsSrc\n"
+      " ip address 1.0.0.1/16\n"
+      "interface hostsDst\n"
+      " ip address 2.0.0.1/16\n"
+      "router bgp 65001\n"
+      " network 1.0.0.0/16\n"
+      " network 2.0.0.0/16\n";
+  ConfigTree tree = parseNetworkConfig(text);
+  Simulator sim(tree);
+  const Policy degenerate =
+      Policy::pathPreference(cls("1.0.0.0/16", "2.0.0.0/16"), {"A"}, {"A"});
+  EXPECT_FALSE(sim.checkPolicy(degenerate));
+  EXPECT_EQ(sim.violations({degenerate}).size(), 1u);
+}
+
+TEST(SimulatorStructural, ShortCircuitMatchesFullCheck) {
+  ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  Simulator sim(tree);
+  // No stub subnet overlaps 99.0.0.0/8: reachability fails and blocking
+  // holds without running any forwarding.
+  const auto ghost = cls("99.0.0.0/8", "1.0.0.0/16");
+  EXPECT_EQ(structuralPolicyCheck(Policy::reachability(ghost),
+                                  sim.sourceRouters(ghost)),
+            std::optional<bool>(false));
+  EXPECT_EQ(structuralPolicyCheck(Policy::blocking(ghost),
+                                  sim.sourceRouters(ghost)),
+            std::optional<bool>(true));
+  EXPECT_FALSE(sim.checkPolicy(Policy::reachability(ghost)));
+  EXPECT_TRUE(sim.checkPolicy(Policy::blocking(ghost)));
+  // A decidable policy (populated source set) is left to the full check.
+  const auto live = cls("3.0.0.0/16", "2.0.0.0/16");
+  EXPECT_EQ(structuralPolicyCheck(Policy::reachability(live),
+                                  sim.sourceRouters(live)),
+            std::nullopt);
+  // violations() keeps input order with structurally-settled policies mixed
+  // into the set.
+  const PolicySet mixed = {Policy::reachability(ghost),
+                           aed::testing::figure1P1(),
+                           Policy::blocking(ghost),
+                           aed::testing::figure1P3()};
+  const PolicySet violated = sim.violations(mixed);
+  ASSERT_EQ(violated.size(), 2u);
+  EXPECT_EQ(violated[0].str(), Policy::reachability(ghost).str());
+  EXPECT_EQ(violated[1].str(), aed::testing::figure1P3().str());
+}
+
 }  // namespace
 }  // namespace aed
