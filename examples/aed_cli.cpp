@@ -3,7 +3,7 @@
 // Usage:
 //   aed_cli --configs <file> --policies <file> [--objectives <file>]
 //           [--out <file>] [--sequential] [--no-validate] [--verbose]
-//           [--budget-ms <n>]
+//           [--budget-ms <n>] [--staged-apply] [--sim-cache-entries <n>]
 //
 // Reads the network configuration (the canonical dialect; all routers in
 // one file), the post-update policy set (policy/parse.hpp format) and
@@ -15,6 +15,11 @@
 // engine degrades (anytime MaxSMT) and the per-subproblem outcome report is
 // printed so the operator sees exactly which destinations got which
 // treatment.
+//
+// --staged-apply additionally plans a policy-safe staged rollout of the
+// synthesized patch (per-router/per-destination stages, each intermediate
+// state simulation-checked against the policies that held before the
+// update), executes it transactionally, and prints the plan.
 //
 // Exit codes: 0 success, 1 usage error, 2 synthesis failure, 3 partial
 // (patch returned but some subproblem degraded or failed).
@@ -45,7 +50,8 @@ int usage() {
   std::cerr << "usage: aed_cli --configs <file> --policies <file>\n"
                "               [--objectives <file>] [--out <file>]\n"
                "               [--sequential] [--no-validate] [--verbose]\n"
-               "               [--budget-ms <n>]\n";
+               "               [--budget-ms <n>] [--staged-apply]\n"
+               "               [--sim-cache-entries <n>]\n";
   return 1;
 }
 
@@ -74,6 +80,14 @@ int main(int argc, char** argv) {
           throw AedError("invalid --budget-ms value: " + v);
         }
         options.timeBudgetMs = std::stoull(v);
+      }
+      else if (arg == "--staged-apply") options.stagedDeployment = true;
+      else if (arg == "--sim-cache-entries") {
+        const std::string v = value();
+        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+          throw AedError("invalid --sim-cache-entries value: " + v);
+        }
+        options.simCacheMaxEntries = std::stoull(v);
       }
       else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
       else return usage();
@@ -152,6 +166,13 @@ int main(int argc, char** argv) {
                 << sim.fullInvalidations << " full rebinds), "
                 << sim.parallelTasks << " parallel tasks in "
                 << sim.parallelBatches << " batches\n";
+    }
+    if (options.stagedDeployment && !result.deployment.empty()) {
+      std::cout << "\n" << result.deployment.describe();
+      if (result.deployment.aborted) {
+        std::cout << "deployment aborted; network left at the last committed "
+                     "consistent state\n";
+      }
     }
     const DiffStats diff = diffNetworks(tree, result.updated);
     std::cout << "\ndevices changed: " << diff.devicesChanged << "/"

@@ -1,0 +1,117 @@
+#include "apply/deploy.hpp"
+
+#include <chrono>
+
+#include "conftree/journal.hpp"
+#include "simulate/engine.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace aed {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
+                       const DeployOptions& options,
+                       const DeployFaultInjection& fault) {
+  const auto start = Clock::now();
+  plan.executed = true;
+  plan.aborted = false;
+  plan.committedStages = 0;
+  plan.code = ErrorCode::kNone;
+  plan.error.clear();
+
+  SimulationEngine engine(tree, options.workers, options.simCacheMaxEntries);
+  Patch boundPatch;   // what `engine` is bound to, relative to the entry tree
+  Patch cumulative;   // committed stages, relative to the entry tree
+
+  const auto abort = [&plan](DeploymentStage& stage, ErrorCode code,
+                             std::string detail) {
+    stage.status = StageStatus::kRolledBack;
+    stage.detail = detail;
+    plan.aborted = true;
+    plan.code = code;
+    plan.error = "stage " + std::to_string(stage.index) + " (" + stage.label +
+                 "): " + std::move(detail);
+    logWarn() << "deployment aborted at stage " << stage.index << " ["
+              << errorCodeName(code) << "]: " << stage.detail;
+  };
+
+  for (DeploymentStage& stage : plan.stages) {
+    if (plan.aborted) {
+      stage.status = StageStatus::kSkipped;
+      continue;
+    }
+
+    // Apply through the journal; a fault mid-stage (injected or organic)
+    // rolls back inside applyJournaled before the exception reaches us.
+    const auto applyStart = Clock::now();
+    ApplyJournal journal;
+    Patch::EditHook hook;
+    if (fault.kind == DeployFaultInjection::Kind::kStageCommitFailure &&
+        fault.stage == stage.index) {
+      const std::size_t failAt = fault.atEdit;
+      hook = [failAt](std::size_t index, const Edit&) {
+        if (index == failAt) {
+          throw AedError(ErrorCode::kApplyFailed,
+                         "injected stage-commit fault at edit " +
+                             std::to_string(index));
+        }
+      };
+    }
+    try {
+      stage.patch.applyJournaled(tree, journal, hook);
+    } catch (const AedError& e) {
+      stage.applySeconds = secondsSince(applyStart);
+      abort(stage, e.code() == ErrorCode::kNone ? ErrorCode::kApplyFailed
+                                                : e.code(),
+            e.what());
+      continue;
+    }
+    stage.applySeconds = secondsSince(applyStart);
+
+    // Validate the intermediate state before committing the journal.
+    const auto validateStart = Clock::now();
+    if (fault.kind == DeployFaultInjection::Kind::kValidationTimeout &&
+        fault.stage == stage.index) {
+      stage.validateSeconds = secondsSince(validateStart);
+      journal.rollback();
+      abort(stage, ErrorCode::kTimeout, "injected validation timeout");
+      continue;
+    }
+    Patch candidate = cumulative;
+    candidate.append(stage.patch);
+    engine.rebind(tree, {&boundPatch, &candidate});
+    boundPatch = candidate;
+    const PolicySet violated = engine.violations(plan.guard);
+    stage.validateSeconds = secondsSince(validateStart);
+    if (!violated.empty()) {
+      journal.rollback();
+      std::string detail =
+          "guard regression: " + violated.front().str();
+      if (violated.size() > 1) {
+        detail += " (+" + std::to_string(violated.size() - 1) + " more)";
+      }
+      abort(stage, ErrorCode::kDeployAborted, std::move(detail));
+      continue;
+    }
+
+    journal.commit();
+    cumulative = std::move(candidate);
+    stage.status = StageStatus::kCommitted;
+    ++plan.committedStages;
+  }
+
+  plan.executeSeconds = secondsSince(start);
+  return !plan.aborted;
+}
+
+}  // namespace aed

@@ -1,0 +1,106 @@
+#include "conftree/journal.hpp"
+
+#include "conftree/node.hpp"
+
+namespace aed {
+
+ApplyJournal::~ApplyJournal() {
+  if (!committed_) rollback();
+}
+
+void ApplyJournal::commit() {
+  committed_ = true;
+  entries_.clear();
+}
+
+void ApplyJournal::rollback() {
+  if (committed_) return;
+  while (!entries_.empty()) {
+    Entry& entry = entries_.back();
+    switch (entry.kind) {
+      case Kind::kRemoveAppended:
+        entry.parent->removeChild(entry.childIndex);
+        break;
+      case Kind::kReinsert:
+        entry.parent->insertChild(entry.childIndex, std::move(entry.detached));
+        break;
+      case Kind::kRestoreAttrs:
+        for (auto& [key, value] : entry.previousValues) {
+          entry.target->setAttr(key, std::move(value));
+        }
+        for (const std::string& key : entry.previouslyAbsent) {
+          entry.target->removeAttr(key);
+        }
+        break;
+    }
+    entries_.pop_back();
+  }
+}
+
+void ApplyJournal::recordAdd(Node& parent, std::size_t childIndex) {
+  Entry entry;
+  entry.kind = Kind::kRemoveAppended;
+  entry.parent = &parent;
+  entry.childIndex = childIndex;
+  entries_.push_back(std::move(entry));
+}
+
+void ApplyJournal::recordRemove(Node& parent, std::size_t childIndex,
+                                std::unique_ptr<Node> detached) {
+  Entry entry;
+  entry.kind = Kind::kReinsert;
+  entry.parent = &parent;
+  entry.childIndex = childIndex;
+  entry.detached = std::move(detached);
+  entries_.push_back(std::move(entry));
+}
+
+void ApplyJournal::recordSetAttrs(
+    Node& target, std::map<std::string, std::string> previousValues,
+    std::vector<std::string> previouslyAbsent) {
+  Entry entry;
+  entry.kind = Kind::kRestoreAttrs;
+  entry.target = &target;
+  entry.previousValues = std::move(previousValues);
+  entry.previouslyAbsent = std::move(previouslyAbsent);
+  entries_.push_back(std::move(entry));
+}
+
+std::string ApplyJournal::describe() const {
+  std::string out;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    switch (it->kind) {
+      case Kind::kRemoveAppended:
+        out += "undo add: remove child " + std::to_string(it->childIndex) +
+               " of " + it->parent->path();
+        break;
+      case Kind::kReinsert:
+        out += "undo remove: reinsert " +
+               (it->detached != nullptr ? it->detached->signature()
+                                        : std::string("<subtree>")) +
+               " at index " + std::to_string(it->childIndex) + " of " +
+               it->parent->path();
+        break;
+      case Kind::kRestoreAttrs: {
+        out += "undo set: restore " + it->target->path() + " {";
+        bool first = true;
+        for (const auto& [key, value] : it->previousValues) {
+          if (!first) out += ", ";
+          first = false;
+          out += key + "=" + value;
+        }
+        for (const std::string& key : it->previouslyAbsent) {
+          if (!first) out += ", ";
+          first = false;
+          out += "-" + key;
+        }
+        out += "}";
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aed

@@ -1,0 +1,95 @@
+// Inverse-edit journal for transactional patch application.
+//
+// Applying a patch mutates the configuration tree edit by edit; if an edit
+// fails mid-way (unresolvable target path, malformed attribute, injected
+// fault) the tree must not be left half-updated — a partially applied patch
+// is exactly the kind of transient configuration the update-synthesis
+// literature shows causes outages, and re-validating a corrupted tree would
+// poison every later synthesis round.
+//
+// The journal records, for every applied edit, the minimal inverse operation
+// that undoes it *given the tree state right after that edit*:
+//
+//   kAddNode    -> remove the appended child (parent node + child index)
+//   kRemoveNode -> reinsert the detached subtree at its original index
+//                  (the journal takes ownership of the detached Node, so
+//                  rollback reinserts the identical object — bit-identical
+//                  by construction, no clone drift)
+//   kSetAttr    -> restore each overwritten value and erase each attribute
+//                  that did not exist before
+//
+// rollback() replays the inverses in reverse order, which restores the exact
+// pre-apply tree. commit() discards the undo state; the destructor rolls
+// back automatically when neither was called (RAII, so a throw anywhere in
+// the apply path leaves the tree unchanged).
+//
+// Entries hold pointers into the tree being mutated, so a journal must not
+// outlive the tree nor span other mutations of it. Rollback in reverse order
+// is what keeps those pointers valid: each inverse runs against precisely
+// the tree state its edit produced, and detached subtrees are reinserted as
+// the same objects rather than clones.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aed {
+
+class Node;
+
+class ApplyJournal {
+ public:
+  ApplyJournal() = default;
+  ApplyJournal(const ApplyJournal&) = delete;
+  ApplyJournal& operator=(const ApplyJournal&) = delete;
+  ApplyJournal(ApplyJournal&&) = default;
+  ApplyJournal& operator=(ApplyJournal&&) = default;
+
+  /// Rolls back automatically unless commit() or rollback() ran.
+  ~ApplyJournal();
+
+  /// Number of recorded (not yet rolled back) inverse entries.
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool committed() const { return committed_; }
+
+  /// Discards the undo state: the applied edits become permanent.
+  void commit();
+
+  /// Undoes every recorded edit in reverse order, restoring the exact
+  /// pre-apply tree. No-op after commit() or a prior rollback().
+  void rollback();
+
+  /// Recording hooks, called by Patch::applyJournaled after each mutation.
+  void recordAdd(Node& parent, std::size_t childIndex);
+  void recordRemove(Node& parent, std::size_t childIndex,
+                    std::unique_ptr<Node> detached);
+  void recordSetAttrs(Node& target,
+                      std::map<std::string, std::string> previousValues,
+                      std::vector<std::string> previouslyAbsent);
+
+  /// Human-readable one-line-per-entry description of the recorded
+  /// inverses, in rollback (reverse) order. For logs and the CLI.
+  std::string describe() const;
+
+ private:
+  enum class Kind { kRemoveAppended, kReinsert, kRestoreAttrs };
+
+  struct Entry {
+    Kind kind = Kind::kRemoveAppended;
+    Node* parent = nullptr;       // kRemoveAppended / kReinsert
+    std::size_t childIndex = 0;   // kRemoveAppended / kReinsert
+    std::unique_ptr<Node> detached;  // kReinsert: the removed subtree itself
+    Node* target = nullptr;       // kRestoreAttrs
+    std::map<std::string, std::string> previousValues;  // kRestoreAttrs
+    std::vector<std::string> previouslyAbsent;          // kRestoreAttrs
+  };
+
+  std::vector<Entry> entries_;
+  bool committed_ = false;
+};
+
+}  // namespace aed

@@ -100,6 +100,33 @@ void Node::removeChild(const Node& child) {
   children_.erase(it);
 }
 
+std::unique_ptr<Node> Node::detachChild(std::size_t index) {
+  require(index < children_.size(), "detachChild: index out of range");
+  std::unique_ptr<Node> child = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(index));
+  child->parent_ = nullptr;
+  return child;
+}
+
+Node& Node::insertChild(std::size_t index, std::unique_ptr<Node> child) {
+  require(child != nullptr, "insertChild: null child");
+  require(index <= children_.size(), "insertChild: index out of range");
+  child->parent_ = this;
+  const auto it =
+      children_.insert(children_.begin() + static_cast<std::ptrdiff_t>(index),
+                       std::move(child));
+  return **it;
+}
+
+std::size_t Node::childIndex(const Node& child) const {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == &child) return i;
+  }
+  throw AedError("childIndex: not a child of this node");
+}
+
+void Node::removeAttr(const std::string& key) { attrs_.erase(key); }
+
 std::vector<Node*> Node::childrenOfKind(NodeKind kind) const {
   std::vector<Node*> out;
   for (const auto& child : children_) {

@@ -76,6 +76,20 @@ class Node {
   void removeChild(std::size_t index);
   /// Removes the given child node; throws if not a child.
   void removeChild(const Node& child);
+  /// Detaches the child at `index` without destroying it (its parent pointer
+  /// is cleared). The apply journal uses this so a rolled-back removal
+  /// reinserts the *same* node object, keeping the tree bit-identical and
+  /// outstanding pointers into the subtree valid.
+  std::unique_ptr<Node> detachChild(std::size_t index);
+  /// Inserts a detached node as the child at `index` (existing children at
+  /// and after `index` shift right). Inverse of detachChild.
+  Node& insertChild(std::size_t index, std::unique_ptr<Node> child);
+  /// Position of `child` among this node's children; throws if not a child.
+  std::size_t childIndex(const Node& child) const;
+  /// Erases an attribute; absent keys are ignored. The apply journal uses
+  /// this to restore attributes that did not exist before a kSetAttr edit
+  /// (attr() returning "" is not the same as the key being absent).
+  void removeAttr(const std::string& key);
 
   const std::vector<std::unique_ptr<Node>>& children() const {
     return children_;

@@ -1,5 +1,6 @@
 #include "conftree/parser.hpp"
 
+#include <charconv>
 #include <string>
 
 #include "util/error.hpp"
@@ -32,8 +33,23 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw AedError("config parse error at line " + std::to_string(lineNo_) +
-                   " (" + lineText_ + "): " + why);
+    throw AedError(ErrorCode::kParseError,
+                   "config parse error at line " + std::to_string(lineNo_) +
+                       " (" + lineText_ + "): " + why);
+  }
+
+  // Checked numeric token: the whole token must be a decimal integer that
+  // fits in int (std::atoi's silent-zero and overflow UB are exactly the
+  // absurd-attribute bugs the robustness corpus covers).
+  int parseNumber(std::string_view text, const char* what) const {
+    int value = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || end != text.data() + text.size()) {
+      fail(std::string(what) + " must be a decimal integer, got '" +
+           std::string(text) + "'");
+    }
+    return value;
   }
 
   std::string_view tok(std::size_t i) const {
@@ -119,7 +135,7 @@ class Parser {
         filter->setAttr("name", std::string(tok(1)));
       }
       Node& rule = filter->addChild(NodeKind::kPacketFilterRule);
-      rule.setAttr("seq", std::string(tok(3)));
+      rule.setAttr("seq", std::to_string(parseNumber(tok(3), "seq")));
       if (tok(4) != "permit" && tok(4) != "deny") fail("bad action");
       rule.setAttr("action", std::string(tok(4)));
       rule.setAttr("srcPrefix", parsePrefixToken(tok(5)));
@@ -171,7 +187,7 @@ class Parser {
         if (tok(i) == "filter-in") {
           adj.setAttr("filterIn", std::string(tok(i + 1)));
         } else if (tok(i) == "cost") {
-          const int value = std::atoi(std::string(tok(i + 1)).c_str());
+          const int value = parseNumber(tok(i + 1), "cost");
           if (value <= 0) fail("cost must be a positive integer");
           adj.setAttr("cost", std::to_string(value));
         } else {
@@ -204,7 +220,7 @@ class Parser {
         filter->setAttr("name", std::string(tok(1)));
       }
       Node& rule = filter->addChild(NodeKind::kRouteFilterRule);
-      rule.setAttr("seq", std::string(tok(3)));
+      rule.setAttr("seq", std::to_string(parseNumber(tok(3), "seq")));
       if (tok(4) != "permit" && tok(4) != "deny") fail("bad action");
       rule.setAttr("action", std::string(tok(4)));
       rule.setAttr("prefix", parsePrefixToken(tok(5)));
@@ -214,7 +230,7 @@ class Parser {
           fail("expected 'set local-preference <n>' or 'set med <n>'");
         }
         const std::string what(tok(i + 1));
-        const int value = std::atoi(std::string(tok(i + 2)).c_str());
+        const int value = parseNumber(tok(i + 2), "metric");
         if (value < 0) fail("metric must be non-negative");
         if (what == "local-preference") {
           rule.setAttr("lp", std::to_string(value));
@@ -257,7 +273,8 @@ Node& parseRouterConfig(ConfigTree& tree, std::string_view text) {
     parser.feed(line, ++lineNo);
   }
   Node* router = parser.currentRouter();
-  require(router != nullptr, "router config contained no hostname");
+  require(router != nullptr, ErrorCode::kParseError,
+          "router config contained no hostname");
   return *router;
 }
 

@@ -48,30 +48,57 @@ std::string Edit::describe() const {
 }
 
 void Patch::apply(ConfigTree& tree) const {
-  for (const Edit& edit : edits_) {
-    Node* target = tree.byPath(edit.targetPath);
-    require(target != nullptr, "patch target not found: " + edit.targetPath);
-    switch (edit.op) {
-      case Edit::Op::kAddNode: {
-        Node& created = target->addChild(edit.kind);
-        for (const auto& [key, value] : edit.attrs) {
-          created.setAttr(key, value);
+  ApplyJournal journal;
+  applyJournaled(tree, journal);
+  journal.commit();
+}
+
+void Patch::applyJournaled(ConfigTree& tree, ApplyJournal& journal,
+                           const EditHook& hook) const {
+  try {
+    for (std::size_t i = 0; i < edits_.size(); ++i) {
+      const Edit& edit = edits_[i];
+      if (hook) hook(i, edit);
+      Node* target = tree.byPath(edit.targetPath);
+      require(target != nullptr, ErrorCode::kApplyFailed,
+              "patch target not found: " + edit.targetPath);
+      switch (edit.op) {
+        case Edit::Op::kAddNode: {
+          Node& created = target->addChild(edit.kind);
+          for (const auto& [key, value] : edit.attrs) {
+            created.setAttr(key, value);
+          }
+          journal.recordAdd(*target, target->children().size() - 1);
+          break;
         }
-        break;
-      }
-      case Edit::Op::kRemoveNode: {
-        Node* parent = target->parent();
-        require(parent != nullptr, "cannot remove the root");
-        parent->removeChild(*target);
-        break;
-      }
-      case Edit::Op::kSetAttr: {
-        for (const auto& [key, value] : edit.attrs) {
-          target->setAttr(key, value);
+        case Edit::Op::kRemoveNode: {
+          Node* parent = target->parent();
+          require(parent != nullptr, ErrorCode::kApplyFailed,
+                  "cannot remove the root");
+          const std::size_t index = parent->childIndex(*target);
+          journal.recordRemove(*parent, index, parent->detachChild(index));
+          break;
         }
-        break;
+        case Edit::Op::kSetAttr: {
+          std::map<std::string, std::string> previousValues;
+          std::vector<std::string> previouslyAbsent;
+          for (const auto& [key, value] : edit.attrs) {
+            if (target->hasAttr(key)) {
+              previousValues.emplace(key, target->attr(key));
+            } else {
+              previouslyAbsent.push_back(key);
+            }
+            target->setAttr(key, value);
+          }
+          journal.recordSetAttrs(*target, std::move(previousValues),
+                                 std::move(previouslyAbsent));
+          break;
+        }
       }
     }
+  } catch (...) {
+    journal.rollback();
+    throw;
   }
 }
 

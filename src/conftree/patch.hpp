@@ -8,11 +8,13 @@
 // applied to another copy (or re-applied after review).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "conftree/journal.hpp"
 #include "conftree/tree.hpp"
 
 namespace aed {
@@ -41,10 +43,28 @@ class Patch {
   bool empty() const { return edits_.empty(); }
   std::size_t size() const { return edits_.size(); }
 
+  /// Called before each edit is applied; may throw to abort the apply (the
+  /// deployment chaos tests inject stage-commit faults this way). The index
+  /// is the edit's position within this patch.
+  using EditHook = std::function<void(std::size_t index, const Edit& edit)>;
+
   /// Applies edits in order. Edits may reference nodes created by earlier
   /// edits in the same patch (e.g. rules added under a new filter).
   /// Throws AedError if a target path cannot be resolved.
+  ///
+  /// Strong exception safety: every mutation is recorded in an inverse-edit
+  /// journal, and any failure — at edit 0 or edit k — rolls the tree back to
+  /// a bit-identical pre-apply state before the exception propagates.
   void apply(ConfigTree& tree) const;
+
+  /// Applies with an open journal the caller owns: on return the edits are
+  /// applied but NOT committed — the caller decides between
+  /// journal.commit() and journal.rollback() (the deployment engine commits
+  /// a stage only after the intermediate state validates). If an edit
+  /// throws, everything applied so far is rolled back before rethrowing and
+  /// the journal is left empty. `hook`, when set, runs before each edit.
+  void applyJournaled(ConfigTree& tree, ApplyJournal& journal,
+                      const EditHook& hook = nullptr) const;
 
   /// Convenience: clones `tree`, applies, returns the updated copy.
   ConfigTree applied(const ConfigTree& tree) const;

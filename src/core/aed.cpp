@@ -323,26 +323,34 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         futures.emplace_back(i, pool.submit([&solveOne, i] { solveOne(i); }));
       }
       // Collect every future individually: a throwing task must not abandon
-      // its in-flight siblings or skip their results.
+      // its in-flight siblings or skip their results. solveOne isolates
+      // expected failures itself, so anything escaping here is fatal to the
+      // run — but its classification and message are still worth keeping.
       for (auto& [i, future] : futures) {
         try {
           future.get();
-        } catch (...) {
+        } catch (const AedError& e) {
+          if (!fatal) fatal = std::current_exception();
+          subResults[i] =
+              failedSubResult(SubOutcome::kError, e.code(), e.what());
+        } catch (const std::exception& e) {
           if (!fatal) fatal = std::current_exception();
           subResults[i] = failedSubResult(SubOutcome::kError,
-                                          ErrorCode::kInternal,
-                                          "subproblem threw");
+                                          ErrorCode::kInternal, e.what());
         }
       }
     } else {
       for (std::size_t i : pending) {
         try {
           solveOne(i);
-        } catch (...) {
+        } catch (const AedError& e) {
+          if (!fatal) fatal = std::current_exception();
+          subResults[i] =
+              failedSubResult(SubOutcome::kError, e.code(), e.what());
+        } catch (const std::exception& e) {
           if (!fatal) fatal = std::current_exception();
           subResults[i] = failedSubResult(SubOutcome::kError,
-                                          ErrorCode::kInternal,
-                                          "subproblem threw");
+                                          ErrorCode::kInternal, e.what());
         }
       }
     }
@@ -438,7 +446,8 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     PolicySet violated;
     if (options.memoizedSimulator) {
       if (simEngine == nullptr) {
-        simEngine = std::make_unique<SimulationEngine>(updated, options.workers);
+        simEngine = std::make_unique<SimulationEngine>(
+            updated, options.workers, options.simCacheMaxEntries);
       } else {
         simEngine->rebind(updated, {&lastMerged, &merged});
       }
@@ -539,6 +548,41 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
                     "model/simulator divergence with an empty patch for " +
                         policy.str());
       }
+    }
+  }
+
+  // ---- staged deployment (AedOptions::stagedDeployment) --------------------
+  // Plan a policy-safe rollout of the synthesized patch and execute it
+  // against a scratch clone of the input tree (with any configured stage
+  // fault injected). An aborted deployment degrades the result — the patch
+  // itself is still valid — and result.updated keeps its meaning: the tree
+  // after the *full* patch.
+  if (options.stagedDeployment && !result.patch.empty()) {
+    DeployOptions deployOptions = options.deploy;
+    if (deployOptions.workers == 0) deployOptions.workers = options.workers;
+    if (deployOptions.simCacheMaxEntries == 0) {
+      deployOptions.simCacheMaxEntries = options.simCacheMaxEntries;
+    }
+    result.deployment =
+        planStagedRollout(tree, result.patch, policies, deployOptions);
+    DeployFaultInjection deployFault;
+    if (options.faultInjection.kind ==
+        FaultInjection::Kind::kStageCommitFailure) {
+      deployFault.kind = DeployFaultInjection::Kind::kStageCommitFailure;
+      deployFault.stage = options.faultInjection.applyStage;
+      deployFault.atEdit = options.faultInjection.applyEdit;
+    } else if (options.faultInjection.kind ==
+               FaultInjection::Kind::kStageValidationTimeout) {
+      deployFault.kind = DeployFaultInjection::Kind::kValidationTimeout;
+      deployFault.stage = options.faultInjection.applyStage;
+    }
+    ConfigTree staged = tree.clone();
+    if (!executeDeployment(staged, result.deployment, deployOptions,
+                           deployFault)) {
+      result.degraded = true;
+      logWarn() << "staged deployment aborted ["
+                << errorCodeName(result.deployment.code)
+                << "]: " << result.deployment.error;
     }
   }
 

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "apply/deploy.hpp"
+#include "apply/plan.hpp"
 #include "conftree/patch.hpp"
 #include "conftree/tree.hpp"
 #include "encode/encoder.hpp"
@@ -61,6 +63,12 @@ struct FaultInjection {
                         // rounds (blocking + re-solve run for real); used by
                         // the repair-round equivalence tests and
                         // bench_incremental
+    kStageCommitFailure,     // staged deployment only: stage `applyStage`
+                             // fails mid-commit at edit `applyEdit` and is
+                             // rolled back (see apply/deploy.hpp)
+    kStageValidationTimeout, // staged deployment only: validating stage
+                             // `applyStage` times out; the stage is rolled
+                             // back and the deployment aborts
   };
   Kind kind = Kind::kNone;
   /// Index of the subproblem to poison (destination order); ignored by
@@ -70,6 +78,10 @@ struct FaultInjection {
   std::uint64_t delayMs = 50;
   /// Rounds of forced validation rejection for Kind::kRejectValidation.
   int rejectRounds = 1;
+  /// Deployment stage targeted by the kStage* kinds.
+  std::size_t applyStage = 0;
+  /// Edit index within the stage for Kind::kStageCommitFailure.
+  std::size_t applyEdit = 0;
 };
 
 struct AedOptions {
@@ -103,6 +115,21 @@ struct AedOptions {
   /// Verdicts are bit-identical either way (asserted by tests); false keeps
   /// the from-scratch oracle for A/B benchmarking.
   bool memoizedSimulator = true;
+
+  /// Entry cap for the SimulationEngine's route-table memo cache
+  /// (0 = unlimited); least-recently-used tables are evicted past the cap.
+  /// Applies to validation and, unless overridden there, staged deployment.
+  std::size_t simCacheMaxEntries = 0;
+
+  /// After a successful synthesis, plan a policy-safe staged rollout of the
+  /// patch and execute it (with fault injection, against a scratch clone of
+  /// the input tree) — see apply/plan.hpp. The plan and its execution
+  /// summary are returned in AedResult::deployment; a deployment abort marks
+  /// the result degraded but does not fail it.
+  bool stagedDeployment = false;
+  /// Planner/executor knobs for stagedDeployment. workers and
+  /// simCacheMaxEntries inherit the outer options when left 0.
+  DeployOptions deploy;
 
   /// Incremental re-solve (the paper's headline lever, applied to the repair
   /// loop): keep one persistent SubproblemSolver — sketch, Z3 session, and
@@ -215,6 +242,10 @@ struct AedResult {
 
   Patch patch;
   ConfigTree updated;  // tree after applying the patch
+
+  /// Staged rollout plan + execution summary (AedOptions::stagedDeployment);
+  /// empty() when staged deployment was off or synthesis failed.
+  DeploymentPlan deployment;
 
   /// Per-subproblem outcome report, in destination order.
   std::vector<SubproblemReport> subproblems;

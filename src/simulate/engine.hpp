@@ -64,6 +64,7 @@ struct SimCacheStats {
   std::size_t invalidatedEntries = 0;  // cached tables dropped by rebind()
   std::size_t fullInvalidations = 0;   // rebinds that wiped the whole cache
   std::size_t targetedInvalidations = 0;  // rebinds attributed to prefixes
+  std::size_t evictions = 0;  // cached tables dropped by the LRU entry cap
   std::size_t parallelBatches = 0;  // violations()/infer() calls that fanned out
   std::size_t parallelTasks = 0;    // destination-shard tasks submitted
 
@@ -77,8 +78,13 @@ class SimulationEngine {
  public:
   /// Binds to a deep copy of `tree`. `workers` sizes the internal thread
   /// pool (0 = hardware concurrency); the pool is created lazily on the
-  /// first call that fans out.
-  explicit SimulationEngine(const ConfigTree& tree, std::size_t workers = 0);
+  /// first call that fans out. `maxCacheEntries` caps the route-table memo
+  /// cache (0 = unlimited): when an insert pushes the entry count past the
+  /// cap, the least-recently-used tables are evicted down to ~90% of it.
+  /// Evicted tables are quarantined (not freed) until the next rebind so
+  /// the reference-stability contract of computeRoutes() still holds.
+  explicit SimulationEngine(const ConfigTree& tree, std::size_t workers = 0,
+                            std::size_t maxCacheEntries = 0);
   ~SimulationEngine();
 
   SimulationEngine(const SimulationEngine&) = delete;
@@ -173,9 +179,13 @@ class SimulationEngine {
 
   // ---- route-table cache, sharded by destination ----
   using EnvKey = std::vector<std::pair<std::string, std::string>>;
+  struct CachedTable {
+    std::map<std::string, RouteEntry> table;
+    std::uint64_t lastUse = 0;  // global LRU tick; updated under the shard lock
+  };
   struct DstShard {
     std::mutex mutex;
-    std::map<EnvKey, std::map<std::string, RouteEntry>> tables;
+    std::map<EnvKey, std::unique_ptr<CachedTable>> tables;
   };
 
   void compile();
@@ -188,6 +198,7 @@ class SimulationEngine {
   DstShard& shardFor(const Ipv4Prefix& dst) const;
   void invalidateAll();
   void invalidatePrefixes(const std::vector<Ipv4Prefix>& prefixes);
+  void evictLruIfOverCap() const;
   ThreadPool& pool() const;
 
   ConfigTree tree_;  // owned deep copy of the bound tree
@@ -203,6 +214,14 @@ class SimulationEngine {
   mutable std::mutex shardsMutex_;  // guards the shard map, not the shards
   mutable std::map<Ipv4Prefix, std::unique_ptr<DstShard>> shards_;
 
+  // LRU entry cap. Evicted tables move to the quarantine (under
+  // shardsMutex_) instead of being freed, because concurrent queries may
+  // still hold references; the quarantine empties at the next rebind.
+  std::size_t maxCacheEntries_ = 0;
+  mutable std::atomic<std::uint64_t> useTick_{0};
+  mutable std::atomic<std::size_t> entryCount_{0};
+  mutable std::vector<std::unique_ptr<CachedTable>> evictedQuarantine_;
+
   mutable std::once_flag poolOnce_;
   mutable std::unique_ptr<ThreadPool> pool_;
 
@@ -211,6 +230,7 @@ class SimulationEngine {
   std::atomic<std::size_t> invalidatedEntries_{0};
   std::atomic<std::size_t> fullInvalidations_{0};
   std::atomic<std::size_t> targetedInvalidations_{0};
+  mutable std::atomic<std::size_t> evictions_{0};
   mutable std::atomic<std::size_t> parallelBatches_{0};
   mutable std::atomic<std::size_t> parallelTasks_{0};
 };

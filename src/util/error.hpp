@@ -30,6 +30,13 @@ enum class ErrorCode {
   kParseError,
   /// A subproblem threw; the rest of the batch still completed.
   kSubproblemFailed,
+  /// Applying a patch to a configuration tree failed (unresolvable target
+  /// path, injected commit fault); the transactional apply rolled the tree
+  /// back to its pre-apply state before reporting this.
+  kApplyFailed,
+  /// A staged deployment aborted mid-rollout; the network was left at the
+  /// last committed, validated stage (see src/apply/deploy.hpp).
+  kDeployAborted,
   /// Internal invariant violation (a bug, or model/simulator divergence).
   kInternal,
 };
@@ -46,6 +53,8 @@ inline const char* errorCodeName(ErrorCode code) {
     case ErrorCode::kInvalidInput: return "invalid-input";
     case ErrorCode::kParseError: return "parse-error";
     case ErrorCode::kSubproblemFailed: return "subproblem-failed";
+    case ErrorCode::kApplyFailed: return "apply-failed";
+    case ErrorCode::kDeployAborted: return "deploy-aborted";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";
