@@ -188,6 +188,7 @@ void registerCases() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const aedbench::TraceArtifact trace;  // AED_TRACE_OUT=<file> to record
   registerCases();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

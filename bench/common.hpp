@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "core/aed.hpp"
 #include "gen/netgen.hpp"
 #include "gen/policygen.hpp"
+#include "obs/trace.hpp"
 #include "simulate/simulator.hpp"
 
 namespace aedbench {
@@ -24,6 +26,29 @@ inline bool fullScale() {
   const char* env = std::getenv("AED_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
 }
+
+/// Span-trace artifact hook for bench binaries: declare one at the top of
+/// main(). When AED_TRACE_OUT names a file, tracing is enabled for the whole
+/// bench run and the Chrome trace-event JSON is written there on exit (CI
+/// uploads these next to the BENCH_*.json result files). Without the env
+/// var, tracing stays disabled and the benches measure the zero-cost path.
+struct TraceArtifact {
+  std::string path;
+  TraceArtifact() {
+    const char* env = std::getenv("AED_TRACE_OUT");
+    if (env == nullptr || env[0] == '\0') return;
+    path = env;
+    aed::Tracer::enable();
+  }
+  ~TraceArtifact() {
+    if (path.empty()) return;
+    if (aed::Tracer::writeChromeTrace(path)) {
+      std::fprintf(stderr, "trace written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+    }
+  }
+};
 
 /// Datacenter preset: turns a target router count into a leaf-spine shape
 /// mirroring the paper's 2-24 router datacenter networks.

@@ -4,6 +4,7 @@
 //   aed_cli --configs <file> --policies <file> [--objectives <file>]
 //           [--out <file>] [--sequential] [--no-validate] [--verbose]
 //           [--budget-ms <n>] [--staged-apply] [--sim-cache-entries <n>]
+//           [--trace <file>] [--metrics]
 //
 // Reads the network configuration (the canonical dialect; all routers in
 // one file), the post-update policy set (policy/parse.hpp format) and
@@ -21,6 +22,12 @@
 // state simulation-checked against the policies that held before the
 // update), executes it transactionally, and prints the plan.
 //
+// --trace <file> records the run's hierarchical span tree (synthesize →
+// round → subproblem → smt.check / validate → sim shards → deploy stages)
+// and writes Chrome trace-event JSON loadable by chrome://tracing or
+// Perfetto. --metrics prints the unified counter registry after the run —
+// including on failure, so degraded and thrown runs stay attributable.
+//
 // Exit codes: 0 success, 1 usage error, 2 synthesis failure, 3 partial
 // (patch returned but some subproblem degraded or failed).
 
@@ -32,6 +39,8 @@
 #include "conftree/parser.hpp"
 #include "conftree/printer.hpp"
 #include "core/aed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "policy/parse.hpp"
 #include "simulate/simulator.hpp"
 #include "util/log.hpp"
@@ -51,15 +60,39 @@ int usage() {
                "               [--objectives <file>] [--out <file>]\n"
                "               [--sequential] [--no-validate] [--verbose]\n"
                "               [--budget-ms <n>] [--staged-apply]\n"
-               "               [--sim-cache-entries <n>]\n";
+               "               [--sim-cache-entries <n>]\n"
+               "               [--trace <file>] [--metrics]\n";
   return 1;
 }
+
+/// Writes the span tree / prints the counter table on every exit path, so a
+/// failed synthesis still leaves its trace artifact behind.
+struct ObsFlush {
+  std::string tracePath;
+  bool printMetrics = false;
+  ~ObsFlush() {
+    if (!tracePath.empty()) {
+      if (aed::Tracer::writeChromeTrace(tracePath)) {
+        std::cout << "trace written to " << tracePath << "\n";
+      } else {
+        std::cerr << "error: cannot write trace file: " << tracePath << "\n";
+      }
+    }
+    if (printMetrics) {
+      const std::string table = aed::MetricsRegistry::global().summaryTable();
+      std::cout << "metrics:\n"
+                << (table.empty() ? std::string("  (none recorded)\n")
+                                  : table);
+    }
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace aed;
   std::string configsPath, policiesPath, objectivesPath, outPath;
+  ObsFlush obs;
   AedOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +122,11 @@ int main(int argc, char** argv) {
         }
         options.simCacheMaxEntries = std::stoull(v);
       }
+      else if (arg == "--trace") {
+        obs.tracePath = value();
+        Tracer::enable();
+      }
+      else if (arg == "--metrics") obs.printMetrics = true;
       else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
       else return usage();
     } catch (const AedError& e) {

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "conftree/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulate/engine.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -22,6 +24,10 @@ double secondsSince(Clock::time_point start) {
 bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
                        const DeployOptions& options,
                        const DeployFaultInjection& fault) {
+  Span span("deploy.execute");
+  if (span.active()) {
+    span.setDetail("stages=" + std::to_string(plan.stages.size()));
+  }
   const auto start = Clock::now();
   plan.executed = true;
   plan.aborted = false;
@@ -50,6 +56,8 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
       stage.status = StageStatus::kSkipped;
       continue;
     }
+    Span stageSpan("deploy.stage");
+    if (stageSpan.active()) stageSpan.setDetail(stage.label);
 
     // Apply through the journal; a fault mid-stage (injected or organic)
     // rolls back inside applyJournaled before the exception reaches us.
@@ -111,6 +119,25 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
   }
 
   plan.executeSeconds = secondsSince(start);
+
+  // Mirror the stage outcomes into the unified registry (the per-stage
+  // statuses in `plan` stay the compatibility surface). Single-threaded:
+  // executeDeployment owns the whole commit loop.
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  std::size_t rolledBack = 0;
+  std::size_t skipped = 0;
+  for (const DeploymentStage& stage : plan.stages) {
+    if (stage.status == StageStatus::kRolledBack) ++rolledBack;
+    if (stage.status == StageStatus::kSkipped) ++skipped;
+  }
+  metrics.add("deploy.executions", 1.0);
+  metrics.add("deploy.stages_committed",
+              static_cast<double>(plan.committedStages));
+  metrics.add("deploy.stages_rolled_back", static_cast<double>(rolledBack));
+  metrics.add("deploy.stages_skipped", static_cast<double>(skipped));
+  if (plan.aborted) metrics.add("deploy.aborts", 1.0);
+  metrics.add("deploy.execute_seconds", plan.executeSeconds);
+
   return !plan.aborted;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "conftree/node.hpp"
+#include "obs/trace.hpp"
 #include "simulate/engine.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -245,6 +246,7 @@ PolicySet regressionGuard(const ConfigTree& base, const ConfigTree& updated,
 DeploymentPlan planStagedRollout(const ConfigTree& base, const Patch& merged,
                                  const PolicySet& policies,
                                  const DeployOptions& options) {
+  AED_SPAN("deploy.plan");
   const auto start = Clock::now();
   DeploymentPlan plan;
   if (merged.empty()) {

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "core/subsolver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulate/engine.hpp"
 #include "simulate/simulator.hpp"
 #include "util/error.hpp"
@@ -37,6 +39,57 @@ SubResult failedSubResult(SubOutcome outcome, ErrorCode code,
   result.code = code;
   result.detail = detail;
   return result;
+}
+
+/// Mirrors one phase breakdown into the unified counter registry under
+/// `prefix` ("aed.phase.first_round" → "aed.phase.first_round.solve_seconds").
+void publishPhase(MetricsRegistry& metrics, const std::string& prefix,
+                  const PhaseBreakdown& phases) {
+  metrics.add(prefix + ".sketch_seconds", phases.sketchSeconds);
+  metrics.add(prefix + ".encode_seconds", phases.encodeSeconds);
+  metrics.add(prefix + ".solve_seconds", phases.solveSeconds);
+  metrics.add(prefix + ".extract_seconds", phases.extractSeconds);
+  metrics.add(prefix + ".simulate_seconds", phases.simulateSeconds);
+}
+
+/// Mirrors the finished run's AedStats (and the absorbed SimCacheStats) into
+/// the registry. Called exactly once per synthesize() exit — success, failed,
+/// cancelled, or unwinding — from the coordinating thread, after every worker
+/// has been joined: workers only ever report through their own SubResult
+/// slot, so the merge here cannot race (see DESIGN.md §10).
+void publishStats(const AedResult& result) {
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  const AedStats& stats = result.stats;
+  metrics.add("aed.runs", 1.0);
+  if (!result.success) metrics.add("aed.runs_failed", 1.0);
+  if (result.degraded) metrics.add("aed.runs_degraded", 1.0);
+  metrics.add("aed.total_seconds", stats.totalSeconds);
+  metrics.add("aed.subproblems", static_cast<double>(stats.subproblems));
+  metrics.add("aed.subproblems_degraded",
+              static_cast<double>(stats.degradedSubproblems));
+  metrics.add("aed.subproblems_failed",
+              static_cast<double>(stats.failedSubproblems));
+  metrics.add("aed.repair_rounds", static_cast<double>(stats.repairRounds));
+  metrics.add("aed.warm_start_solves",
+              static_cast<double>(stats.warmStartSolves));
+  metrics.add("aed.delta_count", static_cast<double>(stats.deltaCount));
+  metrics.add("aed.sum_subproblem_seconds", stats.sumSubproblemSeconds);
+  publishPhase(metrics, "aed.phase.first_round", stats.firstRound);
+  publishPhase(metrics, "aed.phase.repair", stats.repair);
+
+  const SimCacheStats& sim = stats.simulate;
+  metrics.add("sim.route_hits", static_cast<double>(sim.routeHits));
+  metrics.add("sim.route_misses", static_cast<double>(sim.routeMisses));
+  metrics.add("sim.invalidated_entries",
+              static_cast<double>(sim.invalidatedEntries));
+  metrics.add("sim.full_invalidations",
+              static_cast<double>(sim.fullInvalidations));
+  metrics.add("sim.targeted_invalidations",
+              static_cast<double>(sim.targetedInvalidations));
+  metrics.add("sim.evictions", static_cast<double>(sim.evictions));
+  metrics.add("sim.parallel_batches",
+              static_cast<double>(sim.parallelBatches));
+  metrics.add("sim.parallel_tasks", static_cast<double>(sim.parallelTasks));
 }
 
 }  // namespace
@@ -109,6 +162,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
                      const std::vector<Objective>& objectives,
                      const AedOptions& options) {
   const auto start = Clock::now();
+  Span runSpan("aed.synthesize");
   AedResult result;
   result.updated = tree.clone();
 
@@ -155,9 +209,15 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
                                               objectives, effective);
   };
 
-  // Fills the outcome report and aggregate stats from subResults; called on
-  // every exit path.
+  // Fills the outcome report and aggregate stats from subResults, then
+  // mirrors them into the unified metrics registry; called exactly once on
+  // every exit path (success, fail(), and — via the unwind guard below —
+  // exceptions), so failed and thrown runs are just as attributable as
+  // successful ones.
+  bool finalized = false;
   const auto finalize = [&](AedResult& res) {
+    if (finalized) return;
+    finalized = true;
     res.subproblems.clear();
     std::set<std::string> violatedLabels;
     for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -197,6 +257,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     res.violatedObjectives.assign(violatedLabels.begin(),
                                   violatedLabels.end());
     res.stats.totalSeconds = secondsSince(start);
+    publishStats(res);
   };
 
   const auto fail = [&](ErrorCode code,
@@ -207,6 +268,26 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     finalize(result);
     return std::move(result);
   };
+
+  // Deterministic AedErrors still propagate to the caller (the resilience
+  // contract), but the run must stay attributable: when an exception unwinds
+  // past this frame, finalize the stats collected so far — totalSeconds, the
+  // per-subproblem outcomes, the merged phase timings — into the metrics
+  // registry before the result is lost. Spans close by themselves (RAII).
+  const auto onUnwind = [&] {
+    result.success = false;
+    if (result.errorCode == ErrorCode::kNone) {
+      result.errorCode = ErrorCode::kInternal;
+    }
+    finalize(result);
+  };
+  struct UnwindGuard {
+    const decltype(onUnwind)& fn;
+    int depth = std::uncaught_exceptions();
+    ~UnwindGuard() {
+      if (std::uncaught_exceptions() > depth) fn();
+    }
+  } unwindGuard{onUnwind};
 
   // ---- solve (with simulator-validated repair rounds) ---------------------
   std::vector<std::vector<std::string>> blocked;  // shared across rounds
@@ -232,6 +313,12 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       if (needsSolve[i]) pending.push_back(i);
     }
     if (pending.empty()) break;
+
+    Span roundSpan("aed.round");
+    if (roundSpan.active()) {
+      roundSpan.setDetail("round=" + std::to_string(round) +
+                          " pending=" + std::to_string(pending.size()));
+    }
 
     // Split the remaining global budget across the queued subproblems: each
     // of the ceil(pending/workers) sequential batches gets an equal share.
@@ -262,6 +349,11 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
              code == ErrorCode::kCancelled;
     };
     const auto solveOne = [&](std::size_t i) {
+      // Runs on a pool worker in parallel mode: the worker installed the
+      // submitting thread's span context, so this span parents under the
+      // round span regardless of which thread executes it.
+      Span span("aed.subproblem");
+      if (span.active()) span.setDetail("dst=" + destinations[i]);
       try {
         const FaultInjection& fault = options.faultInjection;
         const bool injected =
@@ -354,13 +446,14 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         }
       }
     }
-    if (fatal) std::rethrow_exception(fatal);
     for (std::size_t i : pending) needsSolve[i] = false;
 
     // Per-phase timing, split by round kind: round 0 is where every
     // subproblem pays sketch + encode; with incrementalResolve the repair
     // bucket's sketch/encode stay ~0 because the persistent solvers reuse
-    // their encodings.
+    // their encodings. Merged before the fatal rethrow below so the work the
+    // siblings completed this round stays attributable even when the run
+    // unwinds (the guard above publishes it).
     PhaseBreakdown& phaseBucket =
         round == 0 ? result.stats.firstRound : result.stats.repair;
     for (std::size_t i : pending) {
@@ -370,6 +463,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       phaseBucket.extractSeconds += subResults[i].phases.extractSeconds;
       if (subResults[i].warmStart) ++result.stats.warmStartSolves;
     }
+    if (fatal) std::rethrow_exception(fatal);
 
     // Unsat is fatal for the whole run: the policies conflict (§11 "SMT
     // output for special cases"), and a partial patch would silently drop a
@@ -444,19 +538,22 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     }
     const auto simulateStart = Clock::now();
     PolicySet violated;
-    if (options.memoizedSimulator) {
-      if (simEngine == nullptr) {
-        simEngine = std::make_unique<SimulationEngine>(
-            updated, options.workers, options.simCacheMaxEntries);
+    {
+      AED_SPAN("aed.validate");
+      if (options.memoizedSimulator) {
+        if (simEngine == nullptr) {
+          simEngine = std::make_unique<SimulationEngine>(
+              updated, options.workers, options.simCacheMaxEntries);
+        } else {
+          simEngine->rebind(updated, {&lastMerged, &merged});
+        }
+        lastMerged = merged;
+        violated = simEngine->violations(survivingPolicies);
+        result.stats.simulate = simEngine->cacheStats();
       } else {
-        simEngine->rebind(updated, {&lastMerged, &merged});
+        Simulator sim(updated);
+        violated = sim.violations(survivingPolicies);
       }
-      lastMerged = merged;
-      violated = simEngine->violations(survivingPolicies);
-      result.stats.simulate = simEngine->cacheStats();
-    } else {
-      Simulator sim(updated);
-      violated = sim.violations(survivingPolicies);
     }
     phaseBucket.simulateSeconds += secondsSince(simulateStart);
     // Deterministic fault injection for repair-heavy scenarios: treat the
@@ -587,8 +684,8 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
   }
 
   // ---- aggregate stats and objective reports -------------------------------
+  result.success = true;  // before finalize: the registry reads the flag
   finalize(result);
-  result.success = true;
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "objectives/translate.hpp"
 #include "smt/session.hpp"
 
@@ -34,7 +35,10 @@ void SubproblemSolver::ensureEncoded(SubResult& result) {
   if (encoder_ != nullptr) return;
 
   auto phaseStart = Clock::now();
-  sketch_.emplace(buildSketch(tree_, topo_, policies_, options_.sketch));
+  {
+    AED_SPAN("subsolver.sketch");
+    sketch_.emplace(buildSketch(tree_, topo_, policies_, options_.sketch));
+  }
   result.phases.sketchSeconds = secondsSince(phaseStart);
 
   session_ = std::make_unique<SmtSession>();
@@ -44,6 +48,7 @@ void SubproblemSolver::ensureEncoded(SubResult& result) {
   }
 
   phaseStart = Clock::now();
+  AED_SPAN("subsolver.encode");
   encoder_ = std::make_unique<Encoder>(*session_, tree_, topo_, *sketch_,
                                        options_.encoder);
   encoder_->encode(policies_);
@@ -93,7 +98,15 @@ SubResult SubproblemSolver::solve(
   }
 
   auto phaseStart = Clock::now();
-  const SmtSession::Result check = session_->check();
+  SmtSession::Result check;
+  {
+    Span span("subsolver.solve");
+    check = session_->check();
+    if (span.active()) {
+      span.setDetail("status=" + check.status +
+                     (check.warmStart ? " warm_start" : ""));
+    }
+  }
   result.phases.solveSeconds = secondsSince(phaseStart);
   result.sat = check.sat;
   result.warmStart = check.warmStart;
@@ -133,6 +146,7 @@ SubResult SubproblemSolver::solve(
   }
 
   phaseStart = Clock::now();
+  AED_SPAN("subsolver.extract");
   result.patch = encoder_->extractPatch();
   for (const DeltaVar& delta : sketch_->deltas()) {
     if (session_->evalBool(encoder_->deltaActive(delta))) {

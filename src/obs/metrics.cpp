@@ -1,0 +1,87 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aed {
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked intentionally: metrics may be recorded from thread-exit paths
+  // during process teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric MetricsRegistry::intern(const std::string& name,
+                                                Kind kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cells_.try_emplace(name);
+  if (inserted) it->second.kind = kind;
+  return Metric(&it->second);
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  return it == cells_.end()
+             ? 0.0
+             : it->second.value.load(std::memory_order_relaxed);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> samples;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) {
+    samples.push_back(
+        {name, cell.value.load(std::memory_order_relaxed), cell.kind});
+  }
+  return samples;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::merge(const std::vector<Sample>& samples) {
+  for (const Sample& sample : samples) {
+    const Metric metric = intern(sample.name, sample.kind);
+    if (metric.cell_->kind == Kind::kCounter) {
+      metric.add(sample.value);
+    } else {
+      metric.set(sample.value);
+    }
+  }
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, cell] : cells_) {
+    cell.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::summaryTable() const {
+  const std::vector<Sample> samples = snapshot();
+  std::size_t width = 0;
+  for (const Sample& sample : samples) {
+    width = std::max(width, sample.name.size());
+  }
+  std::string table;
+  for (const Sample& sample : samples) {
+    char value[64];
+    // Counters are usually integral; print them without a fraction so the
+    // table reads like counts, and keep 6 significant digits for seconds.
+    if (sample.value == static_cast<double>(
+                            static_cast<long long>(sample.value))) {
+      std::snprintf(value, sizeof(value), "%lld",
+                    static_cast<long long>(sample.value));
+    } else {
+      std::snprintf(value, sizeof(value), "%.6g", sample.value);
+    }
+    table += "  ";
+    table += sample.name;
+    table.append(width - sample.name.size() + 2, ' ');
+    table += value;
+    table += sample.kind == Kind::kGauge ? "  (gauge)\n" : "\n";
+  }
+  return table;
+}
+
+}  // namespace aed

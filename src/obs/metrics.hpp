@@ -1,0 +1,110 @@
+// Named counter/gauge registry (the unified observability layer, §10).
+//
+// The engine's quantitative health signals used to live in disconnected
+// structs — AedStats phase breakdowns, SimCacheStats, deployment stage
+// counters — each with its own printing code. The registry gives them one
+// namespace ("aed.repair_rounds", "sim.route_hits", "deploy.stages_committed")
+// and one summary table; the legacy structs stay populated for compatibility
+// and are mirrored into the registry at well-defined join points (never from
+// worker threads — workers report through their per-subproblem results and
+// the single-threaded caller publishes the merge, keeping the accounting
+// TSan-clean by construction).
+//
+// Counters are monotonic sums (merge = add); gauges are last-written values
+// (merge = overwrite). Mutation through a Metric handle is a single atomic
+// add/store; the registry mutex covers only name lookup and registration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aed {
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge };
+
+  /// Stable handle to one metric; cheap to copy, valid for the registry's
+  /// lifetime. Mutations are atomic and safe from any thread.
+  class Metric {
+   public:
+    Metric() = default;
+    void add(double delta) const {
+      if (cell_ != nullptr) cell_->value.fetch_add(delta, order());
+    }
+    void incr() const { add(1.0); }
+    void set(double value) const {
+      if (cell_ != nullptr) cell_->value.store(value, order());
+    }
+    double value() const {
+      return cell_ != nullptr ? cell_->value.load(order()) : 0.0;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    struct Cell {
+      std::atomic<double> value{0.0};
+      Kind kind = Kind::kCounter;
+    };
+    static constexpr std::memory_order order() {
+      return std::memory_order_relaxed;
+    }
+    explicit Metric(Cell* cell) : cell_(cell) {}
+    Cell* cell_ = nullptr;
+  };
+
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+    Kind kind = Kind::kCounter;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry the engine reports into.
+  static MetricsRegistry& global();
+
+  /// Finds or creates a counter (monotonic sum) with this name.
+  Metric counter(const std::string& name) {
+    return intern(name, Kind::kCounter);
+  }
+  /// Finds or creates a gauge (last-written value) with this name.
+  Metric gauge(const std::string& name) { return intern(name, Kind::kGauge); }
+
+  /// Convenience one-shot mutators.
+  void add(const std::string& name, double delta) {
+    counter(name).add(delta);
+  }
+  void set(const std::string& name, double value) { gauge(name).set(value); }
+  /// Current value; 0 for a name never recorded.
+  double value(const std::string& name) const;
+
+  /// All metrics, sorted by name.
+  std::vector<Sample> snapshot() const;
+
+  /// Merges a snapshot in: counters add, gauges overwrite. A name keeps the
+  /// kind it was first registered with.
+  void merge(const std::vector<Sample>& samples);
+
+  /// Resets every value to 0 (registrations and handles stay valid).
+  void reset();
+
+  /// Human-readable aligned table of snapshot(), one metric per line;
+  /// empty string when nothing was recorded.
+  std::string summaryTable() const;
+
+ private:
+  Metric intern(const std::string& name, Kind kind);
+
+  mutable std::mutex mutex_;
+  // std::map: node-stable, so Metric handles survive later registrations.
+  std::map<std::string, Metric::Cell> cells_;
+};
+
+}  // namespace aed

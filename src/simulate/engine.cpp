@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "conftree/node.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -915,6 +916,10 @@ ThreadPool& SimulationEngine::pool() const {
 }
 
 PolicySet SimulationEngine::violations(const PolicySet& policies) const {
+  Span span("sim.violations");
+  if (span.active()) {
+    span.setDetail("policies=" + std::to_string(policies.size()));
+  }
   // Verdict slots indexed by input position: tasks write disjoint slots and
   // the final merge reads them in input order, so the returned violation
   // order is identical to the serial oracle's regardless of scheduling.
@@ -941,6 +946,7 @@ PolicySet SimulationEngine::violations(const PolicySet& policies) const {
     for (auto& [dst, indices] : groups) {
       const std::vector<std::size_t>* slot = &indices;
       tasks.push_back([this, &policies, &violated, slot] {
+        AED_SPAN("sim.shard");
         for (const std::size_t i : *slot) {
           violated[i] = !checkPolicy(policies[i]);
         }
@@ -964,6 +970,7 @@ PolicySet SimulationEngine::violations(const PolicySet& policies) const {
 }
 
 PolicySet SimulationEngine::inferReachabilityPolicies() const {
+  AED_SPAN("sim.infer");
   const std::size_t n = stubs_.size();
   std::vector<char> delivered(n * n, 0);
   const auto probe = [this, n, &delivered](std::size_t dstIdx) {
@@ -985,7 +992,10 @@ PolicySet SimulationEngine::inferReachabilityPolicies() const {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(n);
     for (std::size_t dstIdx = 0; dstIdx < n; ++dstIdx) {
-      tasks.push_back([&probe, dstIdx] { probe(dstIdx); });
+      tasks.push_back([&probe, dstIdx] {
+        AED_SPAN("sim.shard");
+        probe(dstIdx);
+      });
     }
     pool().runAll(std::move(tasks));
   } else {

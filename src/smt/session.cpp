@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace aed {
@@ -162,6 +163,7 @@ bool SmtSession::tryWarmCheck(Result& result) {
 }
 
 SmtSession::Result SmtSession::check() {
+  Span span("smt.check");
   Result result;
 
   // ---- rung 0: incremental warm start -------------------------------------

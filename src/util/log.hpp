@@ -6,6 +6,7 @@
 // tables on stdout stay machine-parseable.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,7 +19,17 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /// Writes one formatted line to stderr if `level` passes the threshold.
+/// Thread-safe: the line (prefix, message, newline) is formatted into one
+/// buffer and emitted with a single write under the logger mutex, so lines
+/// from ThreadPool workers (parallel subproblem solves, sharded violations
+/// sweeps) never interleave mid-line.
 void logMessage(LogLevel level, const std::string& message);
+
+/// Redirects log lines to `sink` instead of stderr (nullptr restores the
+/// stderr path). The sink is invoked under the logger mutex with the fully
+/// formatted line, one call per line, never concurrently. For tests.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void setLogSink(LogSink sink);
 
 namespace detail {
 /// Stream-style log statement: destructor emits the line.

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace aed {
 
 class ThreadPool {
@@ -26,15 +28,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; the future resolves with its result (or exception).
+  /// The submitter's tracing span context is captured here and installed on
+  /// the worker for the task's duration, so spans the task opens parent
+  /// under the span that enqueued it rather than under whatever the worker
+  /// ran last (see obs/trace.hpp).
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
+    const std::uint64_t parentSpan = Tracer::currentSpan();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([packaged] { (*packaged)(); });
+      queue_.emplace([packaged, parentSpan] {
+        const Tracer::ScopedParent scope(parentSpan);
+        (*packaged)();
+      });
     }
     wake_.notify_one();
     return result;

@@ -1,0 +1,649 @@
+// Unified tracing & metrics layer (src/obs) plus the concurrency/accounting
+// hardening that rides with it: span nesting within and across ThreadPool
+// workers, Chrome trace-event JSON validity, counter-registry merge
+// semantics, the disabled-mode zero-allocation guarantee, logger line
+// atomicity under thread stress, and stats attribution on failed and
+// thrown synthesis runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <new>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conftree/parser.hpp"
+#include "core/aed.hpp"
+#include "fixtures.hpp"
+#include "gen/netgen.hpp"
+#include "gen/policygen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+// ---- global allocation counting (for the disabled-mode zero-alloc test) ----
+// Replaces the global allocator for this test binary; counting is gated by a
+// flag so the surrounding gtest machinery does not pollute the window.
+
+namespace {
+std::atomic<bool> g_countAllocs{false};
+std::atomic<std::size_t> g_allocCount{0};
+
+void* countedAlloc(std::size_t size) {
+  if (g_countAllocs.load(std::memory_order_relaxed)) {
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace aed {
+namespace {
+
+using aed::testing::figure1ConfigText;
+
+PolicySet figure1AllPolicies() {
+  return {aed::testing::figure1P1(), aed::testing::figure1P2(),
+          aed::testing::figure1P3()};
+}
+
+/// Fresh tracer state per test; restores the disabled default afterwards.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::disable();
+    Tracer::clear();
+  }
+  void TearDown() override {
+    Tracer::disable();
+    Tracer::clear();
+    setLogSink(nullptr);
+    setLogLevel(LogLevel::kWarn);
+  }
+};
+
+std::map<std::uint64_t, TraceEvent> byId(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, TraceEvent> map;
+  for (const TraceEvent& event : events) map[event.id] = event;
+  return map;
+}
+
+const TraceEvent* findByName(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  for (const TraceEvent& event : events) {
+    if (name == event.name) return &event;
+  }
+  return nullptr;
+}
+
+/// Walks the parent chain of `id`; true if it reaches `ancestor`.
+bool hasAncestor(const std::map<std::uint64_t, TraceEvent>& events,
+                 std::uint64_t id, std::uint64_t ancestor) {
+  std::uint64_t cursor = events.at(id).parent;
+  for (int hops = 0; hops < 64 && cursor != 0; ++hops) {
+    if (cursor == ancestor) return true;
+    const auto it = events.find(cursor);
+    if (it == events.end()) return false;
+    cursor = it->second.parent;
+  }
+  return false;
+}
+
+// ---- span nesting -----------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestOnOneThread) {
+  Tracer::enable();
+  std::uint64_t outerId = 0, midId = 0, innerId = 0;
+  {
+    Span outer("t.outer");
+    outerId = outer.id();
+    {
+      Span mid("t.mid");
+      midId = mid.id();
+      {
+        Span inner("t.inner");
+        innerId = inner.id();
+      }
+    }
+  }
+  const auto events = byId(Tracer::collect());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.at(outerId).parent, 0u);
+  EXPECT_EQ(events.at(midId).parent, outerId);
+  EXPECT_EQ(events.at(innerId).parent, midId);
+  // Sibling after a closed child adopts the original parent again.
+  {
+    Span outer("t.outer2");
+    { Span a("t.a"); }
+    { Span b("t.b"); }
+    const std::uint64_t outer2 = outer.id();
+    const auto again = byId(Tracer::collect());
+    EXPECT_EQ(again.at(outer2 + 1).parent, outer2);
+    EXPECT_EQ(again.at(outer2 + 2).parent, outer2);
+  }
+}
+
+TEST_F(ObsTest, WorkerSpansParentUnderTheSubmittingSpan) {
+  Tracer::enable();
+  std::uint64_t outerId = 0;
+  std::uint32_t mainTid = 0;
+  {
+    Span outer("t.submit");
+    outerId = outer.id();
+    { Span probe("t.main_probe"); }
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.submit([] { Span task("t.task"); }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  const auto events = Tracer::collect();
+  const TraceEvent* probe = findByName(events, "t.main_probe");
+  ASSERT_NE(probe, nullptr);
+  mainTid = probe->tid;
+  std::size_t tasks = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string("t.task") != event.name) continue;
+    ++tasks;
+    EXPECT_EQ(event.parent, outerId);   // linked across the thread boundary
+    EXPECT_NE(event.tid, mainTid);      // but recorded on a worker thread
+  }
+  EXPECT_EQ(tasks, 4u);
+}
+
+TEST_F(ObsTest, ScopedParentInstallsAndRestoresContext) {
+  Tracer::enable();
+  std::uint64_t outerId = 0, detachedId = 0, reattachedId = 0;
+  {
+    Span outer("t.outer");
+    outerId = outer.id();
+    {
+      const Tracer::ScopedParent detach(0);
+      Span orphan("t.orphan");
+      detachedId = orphan.id();
+    }
+    Span child("t.child");
+    reattachedId = child.id();
+  }
+  const auto events = byId(Tracer::collect());
+  EXPECT_EQ(events.at(detachedId).parent, 0u);
+  EXPECT_EQ(events.at(reattachedId).parent, outerId);
+}
+
+// ---- disabled mode ----------------------------------------------------------
+
+TEST_F(ObsTest, DisabledSpansRecordNothingAndNeverAllocate) {
+  ASSERT_FALSE(Tracer::enabled());
+  g_allocCount.store(0);
+  g_countAllocs.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    AED_SPAN("t.disabled");
+  }
+  g_countAllocs.store(false);
+  EXPECT_EQ(g_allocCount.load(), 0u);
+  EXPECT_TRUE(Tracer::collect().empty());
+}
+
+TEST_F(ObsTest, SpanOpenedWhileDisabledStaysUnrecorded) {
+  std::optional<Span> span;
+  span.emplace("t.late");
+  Tracer::enable();
+  span.reset();  // closes after enable(): still not recorded
+  EXPECT_TRUE(Tracer::collect().empty());
+}
+
+// ---- Chrome trace export ----------------------------------------------------
+
+/// Minimal recursive-descent JSON validator: syntax only, no value model.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+  bool valid() {
+    const bool ok = value();
+    skipWs();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters must be escaped
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    skipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      skipWs();
+      if (!string() || !consume(':') || !value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(ObsTest, ChromeTraceJsonIsSyntacticallyValidAndComplete) {
+  Tracer::enable();
+  {
+    Span outer("t.export");
+    Span weird("t.detail", "quote=\" backslash=\\ newline=\nend");
+    { AED_SPAN("t.nested"); }
+  }
+  const std::vector<TraceEvent> events = Tracer::collect();
+  ASSERT_EQ(events.size(), 3u);
+
+  std::ostringstream out;
+  Tracer::writeChromeTrace(out);
+  const std::string json = out.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"t.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"t.nested\""), std::string::npos);
+  EXPECT_NE(json.find("quote=\\\""), std::string::npos);
+
+  // One complete ("ph":"X") record per collected event, each carrying the
+  // required trace-event fields.
+  std::size_t records = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++records;
+  }
+  EXPECT_EQ(records, events.size());
+  for (const char* field : {"\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":",
+                            "\"args\":", "\"cat\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+// ---- counter registry -------------------------------------------------------
+
+TEST_F(ObsTest, CountersSumAndGaugesOverwriteOnMerge) {
+  MetricsRegistry a;
+  a.add("runs", 2.0);
+  a.set("last_seconds", 1.5);
+
+  MetricsRegistry b;
+  b.add("runs", 3.0);
+  b.add("extra", 7.0);
+  b.set("last_seconds", 9.5);
+
+  a.merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(a.value("runs"), 5.0);          // counter: sum
+  EXPECT_DOUBLE_EQ(a.value("last_seconds"), 9.5);  // gauge: overwrite
+  EXPECT_DOUBLE_EQ(a.value("extra"), 7.0);         // new names registered
+  EXPECT_DOUBLE_EQ(a.value("never_recorded"), 0.0);
+
+  // Merging is associative over counters: a second merge adds again.
+  a.merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(a.value("runs"), 8.0);
+  EXPECT_DOUBLE_EQ(a.value("last_seconds"), 9.5);
+}
+
+TEST_F(ObsTest, MetricHandlesStayValidAcrossRegistrationsAndReset) {
+  MetricsRegistry registry;
+  const MetricsRegistry::Metric early = registry.counter("early");
+  early.add(4.0);
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler_" + std::to_string(i)).incr();
+  }
+  early.add(1.0);  // handle survives 100 later registrations (node stability)
+  EXPECT_DOUBLE_EQ(registry.value("early"), 5.0);
+
+  registry.reset();
+  EXPECT_DOUBLE_EQ(registry.value("early"), 0.0);
+  early.add(2.0);  // handles also survive reset()
+  EXPECT_DOUBLE_EQ(registry.value("early"), 2.0);
+
+  const auto samples = registry.snapshot();
+  EXPECT_EQ(samples.size(), 101u);
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.name < y.name;
+                             }));
+}
+
+TEST_F(ObsTest, SummaryTableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.add("aed.runs", 3.0);
+  registry.set("aed.last_total_seconds", 0.25);
+  const std::string table = registry.summaryTable();
+  EXPECT_NE(table.find("aed.runs"), std::string::npos);
+  EXPECT_NE(table.find("3"), std::string::npos);
+  EXPECT_NE(table.find("aed.last_total_seconds"), std::string::npos);
+  EXPECT_NE(table.find("0.25"), std::string::npos);
+  EXPECT_NE(table.find("(gauge)"), std::string::npos);
+}
+
+// ---- logger -----------------------------------------------------------------
+
+TEST_F(ObsTest, ConcurrentLogLinesNeverInterleave) {
+  // The sink sees exactly what a single fwrite would emit; it runs under the
+  // logger mutex, so the vector needs no extra synchronization.
+  std::vector<std::string> lines;
+  setLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  setLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  const std::string filler(64, 'x');
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &filler] {
+      for (int i = 0; i < kLines; ++i) {
+        logInfo() << "thread " << t << " seq " << i << " " << filler << "|end";
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  setLogSink(nullptr);
+
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kLines));
+  std::map<int, std::set<int>> seqs;
+  for (const std::string& line : lines) {
+    // Every line is intact: prefix, both numbers, filler, terminator.
+    ASSERT_EQ(line.rfind("[aed INFO ] thread ", 0), 0u) << line;
+    ASSERT_NE(line.find(filler + "|end\n"), std::string::npos) << line;
+    int t = -1, i = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "[aed INFO ] thread %d seq %d", &t,
+                          &i),
+              2)
+        << line;
+    EXPECT_TRUE(seqs[t].insert(i).second) << "duplicate line: " << line;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seqs[t].size(), static_cast<std::size_t>(kLines));
+  }
+}
+
+TEST_F(ObsTest, LogLinesAreCountedInTheRegistry) {
+  setLogSink([](LogLevel, const std::string&) {});
+  const double before = MetricsRegistry::global().value("log.warn_lines");
+  logWarn() << "counted";
+  logWarn() << "counted again";
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().value("log.warn_lines"),
+                   before + 2.0);
+}
+
+// ---- tracer stress (the TSan target) ---------------------------------------
+
+TEST_F(ObsTest, ConcurrentSpansAndExportsAreRaceFree) {
+  // Bounded recorder work (not spin-until-stop): under TSan on a small
+  // machine unbounded recorders outpace the exporter — whose collect()
+  // copies and sorts the whole buffer — and the backlog grows without limit.
+  Tracer::enable();
+  constexpr int kSpansPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer("stress.outer");
+        Span inner("stress.inner");
+      }
+    });
+  }
+  // Exporters race the recorders: collect + serialize + clear, repeatedly.
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream out;
+    Tracer::writeChromeTrace(out);
+    EXPECT_NE(out.str().find("traceEvents"), std::string::npos);
+    Tracer::clear();
+  }
+  for (auto& thread : threads) thread.join();
+  // Post-join sanity: recording still works after the concurrent churn.
+  Tracer::clear();
+  { Span tail("stress.tail"); }
+  const auto events = Tracer::collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "stress.tail");
+}
+
+// ---- synthesis integration --------------------------------------------------
+
+TEST_F(ObsTest, SynthesizeEmitsANestedSpanTreeCoveringTheRun) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+
+  Tracer::enable();
+  AedOptions options;
+  options.workers = 2;  // force the ThreadPool path even on 1-core hosts
+  const AedResult result = synthesize(tree, policies, {}, options);
+  Tracer::disable();
+  ASSERT_TRUE(result.success) << result.error;
+
+  const std::vector<TraceEvent> events = Tracer::collect();
+  const auto index = byId(events);
+  const TraceEvent* root = findByName(events, "aed.synthesize");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+
+  // The root span accounts for >= 95% of the reported wall clock.
+  EXPECT_GE(static_cast<double>(root->durUs) * 1e-6,
+            0.95 * result.stats.totalSeconds);
+
+  // Every phase of the taxonomy shows up, and the cross-thread chain
+  // subproblem -> round -> synthesize holds for every solve.
+  for (const char* name : {"aed.round", "aed.subproblem", "subsolver.sketch",
+                           "subsolver.encode", "subsolver.solve", "smt.check",
+                           "aed.validate", "sim.violations"}) {
+    EXPECT_NE(findByName(events, name), nullptr) << name;
+  }
+  std::size_t subproblems = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string("aed.subproblem") != event.name) continue;
+    ++subproblems;
+    ASSERT_NE(index.find(event.parent), index.end());
+    EXPECT_EQ(std::string(index.at(event.parent).name), "aed.round");
+    EXPECT_TRUE(hasAncestor(index, event.id, root->id));
+  }
+  // >= because repair rounds (if any) open additional subproblem spans.
+  EXPECT_GE(subproblems, result.stats.subproblems);
+  for (const TraceEvent& event : events) {
+    if (std::string("smt.check") != event.name) continue;
+    EXPECT_TRUE(hasAncestor(index, event.id, root->id));
+  }
+}
+
+TEST_F(ObsTest, FailedRunsStillPopulateStatsAndMetrics) {
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+
+  const double runsBefore = MetricsRegistry::global().value("aed.runs");
+  const double failedBefore =
+      MetricsRegistry::global().value("aed.runs_failed");
+
+  AedOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->requestStop();  // deterministic failure before any solve
+  const AedResult result = synthesize(tree, policies, {}, options);
+  ASSERT_FALSE(result.success);
+  EXPECT_EQ(result.errorCode, ErrorCode::kCancelled);
+
+  // The degraded/failed exit is attributable: wall clock and per-subproblem
+  // outcomes are populated even though no patch was produced.
+  EXPECT_GT(result.stats.totalSeconds, 0.0);
+  EXPECT_EQ(result.subproblems.size(), result.stats.subproblems);
+  EXPECT_GT(result.stats.failedSubproblems, 0u);
+
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().value("aed.runs"),
+                   runsBefore + 1.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().value("aed.runs_failed"),
+                   failedBefore + 1.0);
+}
+
+TEST_F(ObsTest, ThrownRunsStillPublishMetricsAndCloseSpans) {
+  // Corrupt a numeric attribute the sketch/encoder must parse: the resulting
+  // AedError(kParseError) is deterministic (not isolatable), so synthesize
+  // rethrows it — but the unwind guard must still publish the run's stats,
+  // and the RAII spans must still close.
+  ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  bool corrupted = false;
+  tree.root().visit([&corrupted](Node& node) {
+    if (!corrupted && node.attrs().count("seq") != 0) {
+      node.setAttr("seq", "bogus");
+      corrupted = true;
+    }
+  });
+  ASSERT_TRUE(corrupted);
+
+  const double runsBefore = MetricsRegistry::global().value("aed.runs");
+  const double failedBefore =
+      MetricsRegistry::global().value("aed.runs_failed");
+
+  Tracer::enable();
+  EXPECT_THROW(synthesize(tree, figure1AllPolicies()), AedError);
+  Tracer::disable();
+
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().value("aed.runs"),
+                   runsBefore + 1.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().value("aed.runs_failed"),
+                   failedBefore + 1.0);
+
+  // The synthesize span closed during unwinding and was recorded.
+  const std::vector<TraceEvent> events = Tracer::collect();
+  EXPECT_NE(findByName(events, "aed.synthesize"), nullptr);
+}
+
+// Parallel repair-heavy synthesis under the sanitizer jobs: forces several
+// rounds of shared-state hand-off (blocked-delta lists, phase merges, stats
+// publication) with real worker threads. The assertions are light; the value
+// is the interleaving under TSan.
+TEST_F(ObsTest, ParallelRepairRoundsKeepStatsConsistent) {
+  // The figure-1 fixture has a unique fix, so blocking it would go unsat;
+  // the withdrawn-subnet datacenter fixture (see incremental_test.cpp) has
+  // several distinct fixes and converges after a forced rejection.
+  DcParams params;
+  params.racks = 3;
+  params.aggs = 1;
+  params.spines = 0;
+  params.blockedPairFraction = 0.0;
+  params.seed = 29;
+  GeneratedNetwork net = generateDatacenter(params);
+  const PolicySet policies = makeWithdrawnSubnetUpdate(net, "rack0");
+  const ConfigTree& tree = net.tree;
+
+  AedOptions options;
+  options.workers = 4;
+  options.faultInjection.kind = FaultInjection::Kind::kRejectValidation;
+  options.faultInjection.rejectRounds = 1;
+  options.maxRepairIterations = 4;
+  Tracer::enable();
+  const AedResult result = synthesize(tree, policies, {}, options);
+  Tracer::disable();
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_GE(result.stats.repairRounds, 1u);
+
+  const double phaseTotal = result.stats.firstRound.total() +
+                            result.stats.repair.total();
+  EXPECT_GT(phaseTotal, 0.0);
+  EXPECT_GT(result.stats.totalSeconds, 0.0);
+  const std::vector<TraceEvent> events = Tracer::collect();
+  std::size_t rounds = 0;
+  for (const TraceEvent& event : events) {
+    if (std::string("aed.round") == event.name) ++rounds;
+  }
+  EXPECT_GE(rounds, 2u);
+}
+
+}  // namespace
+}  // namespace aed
