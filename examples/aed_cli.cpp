@@ -5,12 +5,19 @@
 //           [--out <file>] [--sequential] [--no-validate] [--verbose]
 //           [--budget-ms <n>] [--staged-apply] [--sim-cache-entries <n>]
 //           [--trace <file>] [--metrics]
+//   aed_cli --gen smoke|nightly [--seed <n>] [other flags as above]
 //
 // Reads the network configuration (the canonical dialect; all routers in
 // one file), the post-update policy set (policy/parse.hpp format) and
 // optional management objectives (§7.1 language), then prints the patch,
 // the objective report, and — with --out — writes the updated
 // configurations.
+//
+// --gen replaces --configs/--policies with a generator-backed workload: the
+// deterministic fuzz-scenario generator (src/check/scenario.hpp) builds a
+// network and policy update from --seed (default 1) under the named size
+// profile — the exact scenario `aed_check` would check for that seed, which
+// makes "run the full CLI pipeline on fuzz seed N" a one-liner.
 //
 // --budget-ms caps the whole run's solver wall clock; under pressure the
 // engine degrades (anytime MaxSMT) and the per-subproblem outcome report is
@@ -35,6 +42,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "check/scenario.hpp"
 #include "conftree/diff.hpp"
 #include "conftree/parser.hpp"
 #include "conftree/printer.hpp"
@@ -61,7 +69,8 @@ int usage() {
                "               [--sequential] [--no-validate] [--verbose]\n"
                "               [--budget-ms <n>] [--staged-apply]\n"
                "               [--sim-cache-entries <n>]\n"
-               "               [--trace <file>] [--metrics]\n";
+               "               [--trace <file>] [--metrics]\n"
+               "       aed_cli --gen smoke|nightly [--seed <n>] [flags]\n";
   return 1;
 }
 
@@ -91,7 +100,8 @@ struct ObsFlush {
 
 int main(int argc, char** argv) {
   using namespace aed;
-  std::string configsPath, policiesPath, objectivesPath, outPath;
+  std::string configsPath, policiesPath, objectivesPath, outPath, genProfile;
+  std::uint64_t seed = 1;
   ObsFlush obs;
   AedOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -128,17 +138,45 @@ int main(int argc, char** argv) {
       }
       else if (arg == "--metrics") obs.printMetrics = true;
       else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
+      else if (arg == "--gen") {
+        genProfile = value();
+        if (genProfile != "smoke" && genProfile != "nightly") {
+          throw AedError("unknown --gen profile (smoke|nightly): " +
+                         genProfile);
+        }
+      }
+      else if (arg == "--seed") {
+        const std::string v = value();
+        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+          throw AedError("invalid --seed value: " + v);
+        }
+        seed = std::stoull(v);
+      }
       else return usage();
     } catch (const AedError& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
   }
-  if (configsPath.empty() || policiesPath.empty()) return usage();
+  if (genProfile.empty() && (configsPath.empty() || policiesPath.empty())) {
+    return usage();
+  }
 
   try {
-    const ConfigTree tree = parseNetworkConfig(readFile(configsPath));
-    const PolicySet policies = parsePolicies(readFile(policiesPath));
+    ConfigTree tree;
+    PolicySet policies;
+    if (!genProfile.empty()) {
+      check::Scenario scenario = check::makeScenario(
+          seed, genProfile == "nightly" ? check::ScenarioProfile::nightly()
+                                        : check::ScenarioProfile::smoke());
+      std::cout << "generated scenario (seed " << seed
+                << "): " << scenario.label << "\n";
+      tree = std::move(scenario.tree);
+      policies = std::move(scenario.policies);
+    } else {
+      tree = parseNetworkConfig(readFile(configsPath));
+      policies = parsePolicies(readFile(policiesPath));
+    }
     std::vector<Objective> objectives;
     if (!objectivesPath.empty()) {
       objectives = parseObjectives(readFile(objectivesPath));

@@ -1,0 +1,303 @@
+#include "check/repro.hpp"
+
+#include <sstream>
+
+#include "conftree/parser.hpp"
+#include "conftree/printer.hpp"
+#include "policy/parse.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aed::check {
+
+namespace {
+
+constexpr std::string_view kHeader = "# aed_check repro v1";
+
+const char* faultKindName(FaultInjection::Kind kind) {
+  switch (kind) {
+    case FaultInjection::Kind::kNone: return "none";
+    case FaultInjection::Kind::kThrow: return "throw";
+    case FaultInjection::Kind::kDelay: return "delay";
+    case FaultInjection::Kind::kUnknown: return "unknown";
+    case FaultInjection::Kind::kRejectValidation: return "reject-validation";
+    case FaultInjection::Kind::kStageCommitFailure: return "stage-commit";
+    case FaultInjection::Kind::kStageValidationTimeout: return "stage-timeout";
+  }
+  return "none";
+}
+
+FaultInjection::Kind faultKindFromName(std::string_view name) {
+  for (const auto kind :
+       {FaultInjection::Kind::kNone, FaultInjection::Kind::kThrow,
+        FaultInjection::Kind::kDelay, FaultInjection::Kind::kUnknown,
+        FaultInjection::Kind::kRejectValidation,
+        FaultInjection::Kind::kStageCommitFailure,
+        FaultInjection::Kind::kStageValidationTimeout}) {
+    if (name == faultKindName(kind)) return kind;
+  }
+  throw AedError(ErrorCode::kParseError,
+                 "repro: unknown fault kind '" + std::string(name) + "'");
+}
+
+std::string serializeFault(const FaultInjection& fault) {
+  std::string out = "fault " + std::string(faultKindName(fault.kind));
+  switch (fault.kind) {
+    case FaultInjection::Kind::kThrow:
+    case FaultInjection::Kind::kUnknown:
+      out += " subproblem=" + std::to_string(fault.subproblem);
+      break;
+    case FaultInjection::Kind::kDelay:
+      out += " subproblem=" + std::to_string(fault.subproblem) +
+             " delay-ms=" + std::to_string(fault.delayMs);
+      break;
+    case FaultInjection::Kind::kRejectValidation:
+      out += " rounds=" + std::to_string(fault.rejectRounds);
+      break;
+    case FaultInjection::Kind::kStageCommitFailure:
+      out += " stage=" + std::to_string(fault.applyStage) +
+             " edit=" + std::to_string(fault.applyEdit);
+      break;
+    case FaultInjection::Kind::kStageValidationTimeout:
+      out += " stage=" + std::to_string(fault.applyStage);
+      break;
+    case FaultInjection::Kind::kNone:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultInjection parseFaultSpec(std::string_view spec) {
+  const std::string context(spec);
+  const auto tokens = splitWhitespace(spec);
+  require(!tokens.empty(), ErrorCode::kParseError,
+          "fault spec needs a kind: " + context);
+  FaultInjection fault;
+  fault.kind = faultKindFromName(tokens[0]);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    require(eq != std::string_view::npos, ErrorCode::kParseError,
+            "repro: fault argument must be key=value: " + context);
+    const std::string_view key = tokens[i].substr(0, eq);
+    const std::string value(tokens[i].substr(eq + 1));
+    const int parsed = parseInt(value, "repro fault argument " + context);
+    if (key == "subproblem") fault.subproblem = parsed;
+    else if (key == "delay-ms") fault.delayMs = static_cast<std::uint64_t>(parsed);
+    else if (key == "rounds") fault.rejectRounds = parsed;
+    else if (key == "stage") fault.applyStage = static_cast<std::size_t>(parsed);
+    else if (key == "edit") fault.applyEdit = static_cast<std::size_t>(parsed);
+    else {
+      throw AedError(ErrorCode::kParseError,
+                     "repro: unknown fault argument '" + std::string(key) +
+                         "' in: " + context);
+    }
+  }
+  return fault;
+}
+
+namespace {
+
+const char* editOpName(Edit::Op op) {
+  switch (op) {
+    case Edit::Op::kAddNode: return "add";
+    case Edit::Op::kRemoveNode: return "remove";
+    case Edit::Op::kSetAttr: return "set";
+  }
+  return "?";
+}
+
+std::string serializeEdit(const Edit& edit) {
+  std::string out = editOpName(edit.op);
+  out += ' ';
+  out += edit.op == Edit::Op::kAddNode ? std::string(nodeKindName(edit.kind))
+                                       : std::string("-");
+  out += '|';
+  out += edit.targetPath;
+  for (const auto& [key, value] : edit.attrs) {
+    require(key.find('|') == std::string::npos &&
+                value.find('|') == std::string::npos &&
+                value.find('\n') == std::string::npos,
+            ErrorCode::kInvalidInput,
+            "repro: attribute contains a reserved character: " + key + "=" +
+                value);
+    out += '|';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+Edit parseEditLine(std::string_view line) {
+  const std::string context(line);
+  const auto fields = splitChar(line, '|');
+  require(fields.size() >= 2, ErrorCode::kParseError,
+          "repro: patch line needs '<op> <kind>|<path>': " + context);
+  const auto head = splitWhitespace(fields[0]);
+  require(head.size() == 2, ErrorCode::kParseError,
+          "repro: patch line needs '<op> <kind>|<path>': " + context);
+
+  Edit edit;
+  if (head[0] == "add") edit.op = Edit::Op::kAddNode;
+  else if (head[0] == "remove") edit.op = Edit::Op::kRemoveNode;
+  else if (head[0] == "set") edit.op = Edit::Op::kSetAttr;
+  else {
+    throw AedError(ErrorCode::kParseError,
+                   "repro: unknown edit op '" + std::string(head[0]) +
+                       "' in: " + context);
+  }
+  if (edit.op == Edit::Op::kAddNode) {
+    edit.kind = nodeKindFromName(head[1]);
+  } else {
+    require(head[1] == "-", ErrorCode::kParseError,
+            "repro: non-add edits take '-' for the kind: " + context);
+  }
+  edit.targetPath = std::string(fields[1]);
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    const auto eq = fields[i].find('=');
+    require(eq != std::string_view::npos, ErrorCode::kParseError,
+            "repro: edit attribute must be key=value: " + context);
+    edit.attrs[std::string(fields[i].substr(0, eq))] =
+        std::string(fields[i].substr(eq + 1));
+  }
+  return edit;
+}
+
+}  // namespace
+
+std::string invariantMaskToString(InvariantMask selected) {
+  if ((selected & kAllInvariants) == kAllInvariants) return "all";
+  std::vector<std::string> names;
+  for (Invariant inv : allInvariants()) {
+    if (selected & mask(inv)) names.emplace_back(invariantName(inv));
+  }
+  return join(names, ",");
+}
+
+InvariantMask invariantMaskFromString(std::string_view names) {
+  if (names == "all") return kAllInvariants;
+  if (names == "cheap") return kCheapInvariants;
+  InvariantMask selected = 0;
+  for (std::string_view part : splitChar(names, ',')) {
+    part = trim(part);
+    if (part.empty()) continue;
+    const auto inv = invariantFromName(part);
+    require(inv.has_value(), ErrorCode::kInvalidInput,
+            "unknown invariant '" + std::string(part) +
+                "' (valid: " + invariantMaskToString(kAllInvariants) +
+                ", i.e. all, or cheap)");
+    selected |= mask(*inv);
+  }
+  require(selected != 0, ErrorCode::kInvalidInput,
+          "empty invariant selection");
+  return selected;
+}
+
+std::string writeRepro(const Scenario& scenario, InvariantMask invariants,
+                       const std::vector<InvariantFailure>& failures) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const InvariantFailure& failure : failures) {
+    out << "# reproduces: " << invariantName(failure.invariant) << " ("
+        << failure.category << ") " << failure.detail << "\n";
+  }
+  out << "seed " << scenario.seed << "\n";
+  if (!scenario.label.empty()) out << "label " << scenario.label << "\n";
+  out << "invariants " << invariantMaskToString(invariants) << "\n";
+  if (scenario.fault.kind != FaultInjection::Kind::kNone) {
+    out << serializeFault(scenario.fault) << "\n";
+  }
+  out << "policies\n" << printPolicies(scenario.policies) << "end\n";
+  if (scenario.patch.has_value()) {
+    out << "patch\n";
+    for (const Edit& edit : scenario.patch->edits()) {
+      out << serializeEdit(edit) << "\n";
+    }
+    out << "end\n";
+  }
+  out << "configs\n" << printNetworkConfig(scenario.tree);
+  return out.str();
+}
+
+Repro parseRepro(std::string_view text) {
+  Repro repro;
+  repro.scenario.label = "repro";
+  bool sawHeader = false;
+  bool sawConfigs = false;
+
+  std::size_t pos = 0;
+  const auto nextLine = [&]() -> std::optional<std::string_view> {
+    if (pos >= text.size()) return std::nullopt;
+    const auto newline = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, newline == std::string_view::npos ? std::string_view::npos
+                                                           : newline - pos);
+    pos = newline == std::string_view::npos ? text.size() : newline + 1;
+    return line;
+  };
+
+  while (auto rawLine = nextLine()) {
+    const std::string_view line = trim(*rawLine);
+    if (line.empty()) continue;
+    if (startsWith(line, "#")) {
+      if (line == kHeader) sawHeader = true;
+      continue;
+    }
+    const std::string context(line);
+    const auto tokens = splitWhitespace(line);
+
+    if (tokens[0] == "seed") {
+      require(tokens.size() == 2, ErrorCode::kParseError,
+              "repro: seed line needs one value: " + context);
+      std::uint64_t seed = 0;
+      for (const char c : tokens[1]) {
+        require(c >= '0' && c <= '9', ErrorCode::kParseError,
+                "repro: bad seed: " + context);
+        seed = seed * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      repro.scenario.seed = seed;
+    } else if (tokens[0] == "label") {
+      repro.scenario.label = std::string(trim(line.substr(5)));
+    } else if (tokens[0] == "invariants") {
+      require(tokens.size() == 2, ErrorCode::kParseError,
+              "repro: invariants line needs one value: " + context);
+      repro.invariants = invariantMaskFromString(tokens[1]);
+    } else if (tokens[0] == "fault") {
+      repro.scenario.fault = parseFaultSpec(trim(line.substr(5)));
+    } else if (tokens[0] == "policies") {
+      std::string block;
+      while (auto policyLine = nextLine()) {
+        if (trim(*policyLine) == "end") break;
+        block += std::string(*policyLine) + "\n";
+      }
+      repro.scenario.policies = parsePolicies(block);
+    } else if (tokens[0] == "patch") {
+      Patch patch;
+      while (auto editLine = nextLine()) {
+        const std::string_view trimmed = trim(*editLine);
+        if (trimmed == "end") break;
+        if (trimmed.empty() || startsWith(trimmed, "#")) continue;
+        patch.add(parseEditLine(trimmed));
+      }
+      repro.scenario.patch = std::move(patch);
+    } else if (tokens[0] == "configs") {
+      // The rest of the file is the canonical network configuration.
+      repro.scenario.tree = parseNetworkConfig(text.substr(pos));
+      pos = text.size();
+      sawConfigs = true;
+    } else {
+      throw AedError(ErrorCode::kParseError,
+                     "repro: unknown directive: " + context);
+    }
+  }
+
+  require(sawHeader, ErrorCode::kParseError,
+          "repro: missing '# aed_check repro v1' header");
+  require(sawConfigs, ErrorCode::kParseError,
+          "repro: missing configs section");
+  return repro;
+}
+
+}  // namespace aed::check

@@ -1,0 +1,67 @@
+// Self-contained repro files for fuzz-found failures.
+//
+// When an invariant fails, the shrinker minimizes the scenario and emits a
+// single text file that carries *everything* needed to replay the failure
+// deterministically — the canonical network configuration, the policy set,
+// the optional explicit patch, the injected fault, and the invariant
+// selection. `aed_check --repro <file>` replays it; files checked into
+// tests/corpus/ double as regression cases replayed by ctest.
+//
+// Format (sections in this order; '#' lines are comments):
+//
+//   # aed_check repro v1
+//   seed 42
+//   label dc racks=3 aggs=2 spines=1 add=2 policies=7
+//   invariants synth-sound,journal-rollback
+//   fault stage-commit stage=0 edit=1          (optional)
+//   policies
+//   reachability 3.0.0.0/16 -> 2.0.0.0/16
+//   end
+//   patch                                      (optional)
+//   add Origination|Router[name=A]/RoutingProcess[type=bgp,name=65001]|prefix=9.9.0.0/16
+//   remove -|Router[name=B]/PacketFilter[name=pf_b]/PacketFilterRule[seq=10]
+//   set -|Router[name=B]/.../RouteFilterRule[seq=20]|lp=200
+//   end
+//   configs
+//   hostname A
+//   ...rest of file: printNetworkConfig() output...
+#pragma once
+
+#include <string>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace aed::check {
+
+struct Repro {
+  Scenario scenario;
+  /// Invariants to check on replay.
+  InvariantMask invariants = kCheapInvariants;
+};
+
+/// Serializes a scenario (plus the invariant selection and, as comments,
+/// the failures it reproduces) into the repro text format.
+std::string writeRepro(const Scenario& scenario, InvariantMask invariants,
+                       const std::vector<InvariantFailure>& failures = {});
+
+/// Parses a repro file; throws AedError(kParseError) with a diagnostic on
+/// malformed input. Round-trips: parseRepro(writeRepro(s, m)) reproduces
+/// the scenario bit-identically (printed configs, policies, patch, fault).
+Repro parseRepro(std::string_view text);
+
+/// Comma-separated invariant names for `mask` ("all" when every invariant
+/// is selected).
+std::string invariantMaskToString(InvariantMask mask);
+
+/// Inverse of invariantMaskToString; accepts "all" and "cheap". Throws
+/// AedError on unknown names.
+InvariantMask invariantMaskFromString(std::string_view names);
+
+/// Parses a fault spec "<kind> [key=value]..." — the repro `fault` line
+/// grammar without the leading keyword, shared with `aed_check --inject`.
+/// Kinds: none, throw, delay, unknown, reject-validation, stage-commit,
+/// stage-timeout; keys: subproblem, delay-ms, rounds, stage, edit.
+FaultInjection parseFaultSpec(std::string_view spec);
+
+}  // namespace aed::check

@@ -1,0 +1,62 @@
+// Automatic counterexample shrinking (delta debugging).
+//
+// A fuzz-found invariant violation on a 9-router, 20-policy scenario is
+// nearly useless for debugging; the same violation on 3 routers and 2
+// policies is a unit test. shrinkScenario() greedily minimizes a failing
+// scenario along four dimensions — policies, patch edits, routers, links —
+// re-checking the failing invariant after every candidate reduction and
+// keeping only reductions that preserve the failure (same invariant, same
+// failure category, so minimization cannot wander to a different bug).
+//
+// Policies and edits use ddmin-style chunked removal (halves first, then
+// smaller chunks) since they are independent list elements; routers and
+// links are removed one at a time with their dependent configuration
+// (peer adjacencies, link interfaces) so most candidates stay well-formed.
+// Candidates that make the pipeline throw in a *different* way are simply
+// rejected — delta debugging treats unresolved outcomes as non-failures.
+//
+// For apply-layer failures (journal-rollback, staged-oneshot) the shrinker
+// first "concretizes" the scenario: it synthesizes once, embeds the patch
+// (Scenario::patch), and from then on every re-check replays the apply
+// layer solver-free — both faster and immune to the solver picking a
+// different patch on a reduced network.
+#pragma once
+
+#include <cstddef>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+
+namespace aed::check {
+
+struct ShrinkOptions {
+  /// Cap on candidate re-checks across all passes (a re-check can cost a
+  /// synthesis run when no patch is embedded).
+  std::size_t maxAttempts = 400;
+  /// Embed a synthesized patch before minimizing apply-layer failures.
+  bool concretizePatch = true;
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  // candidate re-checks executed
+  std::size_t accepted = 0;  // reductions that preserved the failure
+  std::size_t rounds = 0;    // full fixpoint passes
+  std::size_t routersBefore = 0, routersAfter = 0;
+  std::size_t policiesBefore = 0, policiesAfter = 0;
+  std::size_t editsBefore = 0, editsAfter = 0;  // 0/0 when no embedded patch
+};
+
+struct ShrinkResult {
+  Scenario minimized;
+  /// The failure as it reproduces on the minimized scenario.
+  InvariantFailure failure;
+  ShrinkStats stats;
+};
+
+/// Minimizes `failing`, which must currently fail `target.invariant` with
+/// `target.category` (as reported by checkScenario). Deterministic.
+ShrinkResult shrinkScenario(const Scenario& failing,
+                            const InvariantFailure& target,
+                            const ShrinkOptions& options = {});
+
+}  // namespace aed::check

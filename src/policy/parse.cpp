@@ -85,6 +85,35 @@ Policy parsePolicy(std::string_view line) {
   throw AedError("unknown policy kind '" + kind + "' in: " + context);
 }
 
+std::string printPolicy(const Policy& policy) {
+  const std::string cls = policy.cls.src.str() + " -> " + policy.cls.dst.str();
+  switch (policy.kind) {
+    case PolicyKind::kReachability:
+      return "reachability " + cls;
+    case PolicyKind::kBlocking:
+      return "blocking " + cls;
+    case PolicyKind::kWaypoint:
+      return "waypoint " + cls + " via " + join(policy.waypoints, ",");
+    case PolicyKind::kPathPreference:
+      return "path-preference " + cls + " prefer " +
+             join(policy.primaryPath, ",") + " over " +
+             join(policy.alternatePath, ",");
+    case PolicyKind::kIsolation:
+      return "isolation " + cls + " from " + policy.otherCls.src.str() +
+             " -> " + policy.otherCls.dst.str();
+  }
+  throw AedError("printPolicy: unknown policy kind");
+}
+
+std::string printPolicies(const PolicySet& policies) {
+  std::string out;
+  for (const Policy& policy : policies) {
+    out += printPolicy(policy);
+    out += '\n';
+  }
+  return out;
+}
+
 PolicySet parsePolicies(std::string_view text) {
   PolicySet policies;
   for (std::string_view line : splitChar(text, '\n')) {

@@ -22,4 +22,12 @@ Policy parsePolicy(std::string_view line);
 /// Parses a newline-separated list (blank lines and # comments skipped).
 PolicySet parsePolicies(std::string_view text);
 
+/// Prints a policy in the grammar above, so that
+/// parsePolicy(printPolicy(p)) reproduces `p` exactly. The repro-file
+/// machinery (src/check) round-trips policy sets through this.
+std::string printPolicy(const Policy& policy);
+
+/// One printPolicy() line per policy, newline-terminated.
+std::string printPolicies(const PolicySet& policies);
+
 }  // namespace aed
