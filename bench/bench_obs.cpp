@@ -1,14 +1,16 @@
-// Overhead budget of the observability layer (DESIGN.md §10).
+// Overhead budget of the observability layer (DESIGN.md §10, §12).
 //
 // The tracer rides inside every hot loop of the engine, so its disabled-mode
 // cost is a correctness property, not a nicety: spanDisabled asserts (at
-// bench time) that an inert span costs well under the §10 budget of 250 ns —
-// it is one relaxed atomic load in practice — and spanEnabled/traceExport
-// keep the recording and export costs inspectable per run. A regression here
-// would silently tax every phase the evaluation figures measure.
+// bench time) that a fully inert span — tracer off AND flight recorder off —
+// costs well under the §10 budget of 250 ns (two relaxed atomic loads in
+// practice), histogramRecord asserts the §12 histogram-record budget of
+// 100 ns, and spanFlight/spanEnabled/traceExport keep the recording and
+// export costs inspectable per run. A regression here would silently tax
+// every phase the evaluation figures measure.
 //
 // Like the other benches, AED_TRACE_OUT=<file> makes the binary itself emit
-// a Chrome trace artifact (mostly useful for the synthesize case below).
+// a Chrome trace artifact, and AED_METRICS_OUT=<file> a metrics snapshot.
 
 #include <benchmark/benchmark.h>
 
@@ -17,21 +19,26 @@
 #include <string_view>
 
 #include "common.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
+using aed::FlightRecorder;
 using aed::MetricsRegistry;
 using aed::Span;
 using aed::Tracer;
 
 constexpr double kDisabledBudgetNs = 250.0;
+constexpr double kHistogramBudgetNs = 100.0;
 
-/// Create/destroy one span with tracing disabled. This is the cost every
-/// instrumented call site pays in production when no one is tracing.
+/// Create/destroy one span with tracing AND the flight recorder disabled.
+/// This is the §10 inert fast path; the flight recorder defaults on, so the
+/// bench disables it explicitly (its always-on cost is spanFlight below).
 void spanDisabled(benchmark::State& state) {
   Tracer::disable();
+  FlightRecorder::setEnabled(false);
   for (auto _ : state) {
     AED_SPAN("bench.disabled");
     benchmark::ClobberMemory();
@@ -50,9 +57,51 @@ void spanDisabled(benchmark::State& state) {
                         std::chrono::steady_clock::now() - start)
                         .count() /
                     kProbe;
+  FlightRecorder::setEnabled(true);
   state.counters["disabledNsPerSpan"] = ns;
   if (ns > kDisabledBudgetNs) {
     state.SkipWithError("disabled span exceeds the overhead budget");
+  }
+}
+
+/// Create/destroy one span with only the flight recorder on (the production
+/// default): two clock reads plus a bounded copy into the thread's ring.
+void spanFlight(benchmark::State& state) {
+  Tracer::disable();
+  FlightRecorder::setEnabled(true);
+  for (auto _ : state) {
+    AED_SPAN("bench.flight");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  FlightRecorder::clear();
+}
+
+/// Histogram record through a cached handle (the per-SMT-check cost).
+/// Asserts the §12 budget: three relaxed atomic RMWs, no locks.
+void histogramRecord(benchmark::State& state) {
+  MetricsRegistry registry;
+  const MetricsRegistry::Histogram hist = registry.histogram("bench.hist");
+  double value = 1e-6;
+  for (auto _ : state) {
+    hist.record(value);
+    value += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  constexpr int kProbe = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbe; ++i) {
+    hist.record(3.5e-3);
+    benchmark::ClobberMemory();
+  }
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    kProbe;
+  state.counters["recordNsPerSample"] = ns;
+  if (ns > kHistogramBudgetNs) {
+    state.SkipWithError("histogram record exceeds the overhead budget");
   }
 }
 
@@ -132,6 +181,8 @@ void synthesizeTraced(benchmark::State& state) {
 
 void registerCases() {
   benchmark::RegisterBenchmark("obs/spanDisabled", spanDisabled);
+  benchmark::RegisterBenchmark("obs/spanFlight", spanFlight);
+  benchmark::RegisterBenchmark("obs/histogramRecord", histogramRecord);
   benchmark::RegisterBenchmark("obs/spanEnabled", spanEnabled);
   benchmark::RegisterBenchmark("obs/traceExport", traceExport)
       ->Unit(benchmark::kMillisecond);

@@ -17,6 +17,7 @@
 #include "core/aed.hpp"
 #include "gen/netgen.hpp"
 #include "gen/policygen.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "simulate/simulator.hpp"
 
@@ -32,20 +33,38 @@ inline bool fullScale() {
 /// bench run and the Chrome trace-event JSON is written there on exit (CI
 /// uploads these next to the BENCH_*.json result files). Without the env
 /// var, tracing stays disabled and the benches measure the zero-cost path.
+/// AED_METRICS_OUT names a second artifact: the registry snapshot, exported
+/// on exit as JSON (path ends in ".json") or Prometheus text.
 struct TraceArtifact {
   std::string path;
+  std::string metricsPath;
   TraceArtifact() {
-    const char* env = std::getenv("AED_TRACE_OUT");
-    if (env == nullptr || env[0] == '\0') return;
-    path = env;
-    aed::Tracer::enable();
+    if (const char* env = std::getenv("AED_TRACE_OUT");
+        env != nullptr && env[0] != '\0') {
+      path = env;
+      aed::Tracer::enable();
+    }
+    if (const char* env = std::getenv("AED_METRICS_OUT");
+        env != nullptr && env[0] != '\0') {
+      metricsPath = env;
+    }
   }
   ~TraceArtifact() {
-    if (path.empty()) return;
-    if (aed::Tracer::writeChromeTrace(path)) {
-      std::fprintf(stderr, "trace written to %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+    if (!path.empty()) {
+      if (aed::Tracer::writeChromeTrace(path)) {
+        std::fprintf(stderr, "trace written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+      }
+    }
+    if (!metricsPath.empty()) {
+      if (aed::exportMetricsFile(metricsPath)) {
+        std::fprintf(stderr, "metrics snapshot written to %s\n",
+                     metricsPath.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics file: %s\n",
+                     metricsPath.c_str());
+      }
     }
   }
 };

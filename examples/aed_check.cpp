@@ -48,6 +48,7 @@
 
 #include "check/fuzz.hpp"
 #include "check/repro.hpp"
+#include "obs/export.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -61,6 +62,16 @@ std::string readFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Exports the metrics registry when AED_METRICS_OUT is set; called on
+/// every exit path of the sweep so CI always gets its snapshot artifact.
+void exportMetricsIfRequested() {
+  const char* env = std::getenv("AED_METRICS_OUT");
+  if (env == nullptr || *env == '\0') return;
+  if (!aed::exportMetricsFile(env)) {
+    std::cerr << "error: cannot write metrics file: " << env << "\n";
+  }
 }
 
 int usage() {
@@ -118,6 +129,11 @@ int replay(const std::vector<std::string>& files,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Export the metrics snapshot on every exit path (including exceptions)
+  // when AED_METRICS_OUT is set.
+  struct MetricsAtExit {
+    ~MetricsAtExit() { exportMetricsIfRequested(); }
+  } metricsAtExit;
   FuzzOptions options;
   options.seedCount = 500;
   std::optional<InvariantMask> invariantsFlag;
@@ -212,16 +228,28 @@ int main(int argc, char** argv) {
       FuzzReport r = runFuzz(options);
       // Write each minimized counterexample next to the report before the
       // JSON is rendered, so the artifact records where the repros landed.
+      // Each repro gets its flight dump beside it: the recorder's view of
+      // the failing scenario (spans, log tail, metrics at failure time).
       for (FuzzFailure& failure : r.failures) {
-        const std::string name = "crash-seed" + std::to_string(failure.seed) +
+        const std::string stem = "crash-seed" + std::to_string(failure.seed) +
                                  "-" +
-                                 invariantName(failure.failure.invariant) +
-                                 ".repro";
-        const std::string path = outDir + "/" + name;
+                                 invariantName(failure.failure.invariant);
+        const std::string path = outDir + "/" + stem + ".repro";
         std::ofstream out(path);
         if (!out) throw AedError("cannot write repro file: " + path);
         out << failure.repro;
         failure.reproFile = path;
+        if (!failure.flightDump.empty()) {
+          const std::string dumpPath = outDir + "/" + stem + ".flight.json";
+          std::ofstream dump(dumpPath);
+          if (dump) {
+            dump << failure.flightDump;
+            failure.flightDumpFile = dumpPath;
+          } else {
+            std::cerr << "error: cannot write flight dump: " << dumpPath
+                      << "\n";
+          }
+        }
       }
       return r;
     }();
@@ -243,7 +271,11 @@ int main(int argc, char** argv) {
                 << failure.failure.category << "): " << failure.failure.detail
                 << "\n  minimized to " << failure.shrinkStats.routersAfter
                 << " routers / " << failure.shrinkStats.policiesAfter
-                << " policies — repro: " << failure.reproFile << "\n";
+                << " policies — repro: " << failure.reproFile
+                << (failure.flightDumpFile.empty()
+                        ? ""
+                        : ", flight dump: " + failure.flightDumpFile)
+                << "\n";
     }
 
     if (!jsonPath.empty()) {

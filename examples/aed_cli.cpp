@@ -4,7 +4,8 @@
 //   aed_cli --configs <file> --policies <file> [--objectives <file>]
 //           [--out <file>] [--sequential] [--no-validate] [--verbose]
 //           [--budget-ms <n>] [--staged-apply] [--sim-cache-entries <n>]
-//           [--trace <file>] [--metrics]
+//           [--trace <file>] [--metrics] [--metrics-out <file>]
+//           [--solver-stats] [--progress]
 //   aed_cli --gen smoke|nightly [--seed <n>] [other flags as above]
 //
 // Reads the network configuration (the canonical dialect; all routers in
@@ -35,11 +36,22 @@
 // Perfetto. --metrics prints the unified counter registry after the run —
 // including on failure, so degraded and thrown runs stay attributable.
 //
+// --metrics-out <file> exports the registry snapshot on every exit path:
+// JSON when the path ends in ".json", Prometheus text exposition format
+// otherwise (the AED_METRICS_OUT environment variable is a fallback when
+// the flag is absent). --solver-stats prints the per-destination solver
+// breakdown — which degradation-ladder rung answered and why, plus Z3
+// conflicts/decisions/restarts, peak memory, and encoding sizes.
+// --progress streams phase/round/subproblem completion to stderr while the
+// run is in flight.
+//
 // Exit codes: 0 success, 1 usage error, 2 synthesis failure, 3 partial
 // (patch returned but some subproblem degraded or failed).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "check/scenario.hpp"
@@ -47,7 +59,9 @@
 #include "conftree/parser.hpp"
 #include "conftree/printer.hpp"
 #include "core/aed.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "policy/parse.hpp"
 #include "simulate/simulator.hpp"
@@ -70,6 +84,8 @@ int usage() {
                "               [--budget-ms <n>] [--staged-apply]\n"
                "               [--sim-cache-entries <n>]\n"
                "               [--trace <file>] [--metrics]\n"
+               "               [--metrics-out <file>] [--solver-stats]\n"
+               "               [--progress]\n"
                "       aed_cli --gen smoke|nightly [--seed <n>] [flags]\n";
   return 1;
 }
@@ -78,6 +94,7 @@ int usage() {
 /// failed synthesis still leaves its trace artifact behind.
 struct ObsFlush {
   std::string tracePath;
+  std::string metricsOutPath;
   bool printMetrics = false;
   ~ObsFlush() {
     if (!tracePath.empty()) {
@@ -93,8 +110,47 @@ struct ObsFlush {
                 << (table.empty() ? std::string("  (none recorded)\n")
                                   : table);
     }
+    if (!metricsOutPath.empty()) {
+      if (aed::exportMetricsFile(metricsOutPath)) {
+        std::cout << "metrics snapshot written to " << metricsOutPath << "\n";
+      } else {
+        std::cerr << "error: cannot write metrics file: " << metricsOutPath
+                  << "\n";
+      }
+    }
   }
 };
+
+/// Per-destination solver breakdown (--solver-stats): which ladder rung
+/// answered, why, and what it cost the solver.
+void printSolverStats(const aed::AedResult& result) {
+  std::cout << "solver stats (per subproblem):\n";
+  for (const aed::SubproblemReport& report : result.subproblems) {
+    const aed::SolverStats& stats = report.solverStats;
+    std::cout << "  subproblem " << report.index << " (" << report.destination
+              << "): rung " << aed::solveRungName(report.rung) << ", "
+              << stats.checks << " checks, " << stats.conflicts
+              << " conflicts, " << stats.decisions << " decisions, "
+              << stats.restarts << " restarts, " << stats.vars << " vars, "
+              << stats.assertions << " assertions";
+    if (stats.maxMemoryMb > 0.0) {
+      std::cout << ", " << stats.maxMemoryMb << " MB peak";
+    }
+    std::cout << "\n";
+    if (!report.rungReason.empty()) {
+      std::cout << "    why: " << report.rungReason << "\n";
+    }
+  }
+  std::cout << "  rung totals:";
+  static const char* kRungLabels[] = {"none",      "warm-start", "full",
+                                      "no-minimality", "hard-only", "unsat",
+                                      "gave-up"};
+  for (std::size_t i = 0; i < result.stats.rungCounts.size(); ++i) {
+    if (result.stats.rungCounts[i] == 0) continue;
+    std::cout << " " << kRungLabels[i] << "=" << result.stats.rungCounts[i];
+  }
+  std::cout << "\n";
+}
 
 }  // namespace
 
@@ -104,6 +160,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   ObsFlush obs;
   AedOptions options;
+  bool solverStats = false;
+  bool progress = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -137,6 +195,9 @@ int main(int argc, char** argv) {
         Tracer::enable();
       }
       else if (arg == "--metrics") obs.printMetrics = true;
+      else if (arg == "--metrics-out") obs.metricsOutPath = value();
+      else if (arg == "--solver-stats") solverStats = true;
+      else if (arg == "--progress") progress = true;
       else if (arg == "--verbose") setLogLevel(LogLevel::kInfo);
       else if (arg == "--gen") {
         genProfile = value();
@@ -160,6 +221,12 @@ int main(int argc, char** argv) {
   }
   if (genProfile.empty() && (configsPath.empty() || policiesPath.empty())) {
     return usage();
+  }
+  if (obs.metricsOutPath.empty()) {
+    if (const char* env = std::getenv("AED_METRICS_OUT");
+        env != nullptr && *env != '\0') {
+      obs.metricsOutPath = env;
+    }
   }
 
   try {
@@ -188,7 +255,10 @@ int main(int argc, char** argv) {
               << " (violated now: " << before.violations(policies).size()
               << "), objectives: " << objectives.size() << "\n";
 
+    std::optional<ProgressReporter> reporter;
+    if (progress) reporter.emplace();
     const AedResult result = synthesize(tree, policies, objectives, options);
+    reporter.reset();
     if (!result.success) {
       std::cerr << "synthesis failed [" << errorCodeName(result.errorCode)
                 << "]: " << result.error << "\n";
@@ -200,6 +270,7 @@ int main(int argc, char** argv) {
                   << (report.detail.empty() ? "" : " — " + report.detail)
                   << "\n";
       }
+      if (solverStats) printSolverStats(result);
       return 2;
     }
     if (result.degraded) {
@@ -224,6 +295,7 @@ int main(int argc, char** argv) {
                 << "s, simulate " << p.simulateSeconds << "s (total "
                 << p.total() << "s)\n";
     };
+    if (solverStats) printSolverStats(result);
     std::cout << "phase breakdown:\n";
     printPhases("first round", result.stats.firstRound);
     if (result.stats.repairRounds > 0) {

@@ -1,9 +1,13 @@
 #include "apply/deploy.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "conftree/journal.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "simulate/engine.hpp"
 #include "util/error.hpp"
@@ -19,6 +23,54 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+MetricsRegistry::Histogram& histStageValidateSeconds() {
+  static MetricsRegistry::Histogram hist =
+      MetricsRegistry::global().histogram("deploy.stage_validate_seconds");
+  return hist;
+}
+
+std::string jsonEscapeStage(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Pre-rendered JSON array of per-stage outcomes for the flight dump.
+std::string stagesJson(const DeploymentPlan& plan) {
+  std::string out = "[";
+  bool first = true;
+  for (const DeploymentStage& stage : plan.stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"index\":" + std::to_string(stage.index);
+    out += ",\"label\":\"" + jsonEscapeStage(stage.label) + "\"";
+    out += ",\"status\":\"";
+    out += stageStatusName(stage.status);
+    out += "\",\"apply_seconds\":" + std::to_string(stage.applySeconds);
+    out += ",\"validate_seconds\":" + std::to_string(stage.validateSeconds);
+    out += ",\"detail\":\"" + jsonEscapeStage(stage.detail) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
@@ -29,6 +81,9 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
     span.setDetail("stages=" + std::to_string(plan.stages.size()));
   }
   const auto start = Clock::now();
+  // Touch the stage-validation histogram so it appears in every snapshot
+  // that involves a deployment, even when no stage reaches validation.
+  histStageValidateSeconds();
   plan.executed = true;
   plan.aborted = false;
   plan.committedStages = 0;
@@ -50,6 +105,9 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
     logWarn() << "deployment aborted at stage " << stage.index << " ["
               << errorCodeName(code) << "]: " << stage.detail;
   };
+
+  Progress::setPhase("deploy");
+  Progress::setWork(plan.stages.size());
 
   for (DeploymentStage& stage : plan.stages) {
     if (plan.aborted) {
@@ -91,6 +149,7 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
     if (fault.kind == DeployFaultInjection::Kind::kValidationTimeout &&
         fault.stage == stage.index) {
       stage.validateSeconds = secondsSince(validateStart);
+      histStageValidateSeconds().record(stage.validateSeconds);
       journal.rollback();
       abort(stage, ErrorCode::kTimeout, "injected validation timeout");
       continue;
@@ -101,6 +160,7 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
     boundPatch = candidate;
     const PolicySet violated = engine.violations(plan.guard);
     stage.validateSeconds = secondsSince(validateStart);
+    histStageValidateSeconds().record(stage.validateSeconds);
     if (!violated.empty()) {
       journal.rollback();
       std::string detail =
@@ -116,6 +176,7 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
     cumulative = std::move(candidate);
     stage.status = StageStatus::kCommitted;
     ++plan.committedStages;
+    Progress::incrDone();
   }
 
   plan.executeSeconds = secondsSince(start);
@@ -137,6 +198,15 @@ bool executeDeployment(ConfigTree& tree, DeploymentPlan& plan,
   metrics.add("deploy.stages_skipped", static_cast<double>(skipped));
   if (plan.aborted) metrics.add("deploy.aborts", 1.0);
   metrics.add("deploy.execute_seconds", plan.executeSeconds);
+
+  if (plan.aborted) {
+    FlightRecorder::DumpContext ctx;
+    ctx.reason = "deploy-abort";
+    ctx.errorCode = errorCodeName(plan.code);
+    ctx.detail = plan.error;
+    ctx.sections.emplace_back("stages", stagesJson(plan));
+    FlightRecorder::maybeDump(ctx);
+  }
 
   return !plan.aborted;
 }

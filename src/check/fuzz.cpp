@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "check/repro.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 
 namespace aed::check {
 
@@ -74,6 +77,12 @@ std::string FuzzReport::toJson() const {
         << "\",\n";
     out << "      \"reproFile\": \"" << jsonEscape(failure.reproFile)
         << "\",\n";
+    out << "      \"flightDumpFile\": \""
+        << jsonEscape(failure.flightDumpFile) << "\",\n";
+    // Pre-rendered JSON array; embedded verbatim (empty -> []).
+    out << "      \"metrics\": "
+        << (failure.metricsJson.empty() ? "[]" : failure.metricsJson)
+        << ",\n";
     out << "      \"shrink\": {\n";
     out << "        \"attempts\": " << failure.shrinkStats.attempts << ",\n";
     out << "        \"accepted\": " << failure.shrinkStats.accepted << ",\n";
@@ -86,7 +95,9 @@ std::string FuzzReport::toJson() const {
     out << "      }\n";
     out << "    }";
   }
-  out << (failures.empty() ? "" : "\n  ") << "]\n";
+  out << (failures.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"metrics\": " << (metricsJson.empty() ? "[]" : metricsJson)
+      << "\n";
   out << "}\n";
   return out.str();
 }
@@ -144,6 +155,18 @@ FuzzReport runFuzz(const FuzzOptions& options) {
 
     FuzzFailure record;
     record.seed = seed;
+    // Snapshot the registry and render a flight dump right after the failing
+    // check, while the rings still hold that scenario's spans and log tail.
+    record.metricsJson =
+        metricsToJsonArray(MetricsRegistry::global().snapshot());
+    {
+      FlightRecorder::DumpContext ctx;
+      ctx.reason = "fuzz-failure";
+      ctx.errorCode = std::string(invariantName(first.invariant));
+      ctx.detail = first.category + ": " + first.detail;
+      ctx.sections.emplace_back("seed", std::to_string(seed));
+      record.flightDump = FlightRecorder::renderDump(ctx);
+    }
     if (options.shrink) {
       ShrinkResult shrunk =
           shrinkScenario(scenario, first, options.shrinkOptions);
@@ -165,6 +188,8 @@ FuzzReport runFuzz(const FuzzOptions& options) {
   }
 
   report.seconds = elapsed();
+  report.metricsJson =
+      metricsToJsonArray(MetricsRegistry::global().snapshot());
   return report;
 }
 

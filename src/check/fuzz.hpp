@@ -52,6 +52,14 @@ struct FuzzFailure {
   std::string repro;
   /// Where the CLI wrote the repro; recorded in the JSON report.
   std::string reproFile;
+  /// Metrics snapshot (JSON array) taken right after the failing check, so
+  /// the sweep report carries the counters/histograms at failure time.
+  std::string metricsJson;
+  /// Self-contained flight dump (renderDump) for the failing seed; the CLI
+  /// writes it next to the repro file.
+  std::string flightDump;
+  /// Where the CLI wrote the flight dump; recorded in the JSON report.
+  std::string flightDumpFile;
 };
 
 struct FuzzReport {
@@ -65,6 +73,8 @@ struct FuzzReport {
   bool budgetExhausted = false;
   std::map<std::string, std::size_t> checksByInvariant;
   std::vector<FuzzFailure> failures;
+  /// Metrics snapshot (JSON array) at the end of the sweep.
+  std::string metricsJson;
 
   bool clean() const { return failures.empty(); }
   /// Machine-readable summary (the aed_check --json artifact).

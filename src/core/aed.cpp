@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <set>
 #include <thread>
 
 #include "core/subsolver.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "simulate/engine.hpp"
 #include "simulate/simulator.hpp"
@@ -39,6 +42,86 @@ SubResult failedSubResult(SubOutcome outcome, ErrorCode code,
   result.code = code;
   result.detail = detail;
   return result;
+}
+
+// Latency/effort histograms (§12). Handles are cached once (function-local
+// statics into the leaked global registry) so the record path is pure
+// relaxed atomics. All four are recorded on the coordinating thread at the
+// post-join merge points, like every other engine metric.
+MetricsRegistry::Histogram& histCheckSeconds() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("smt.check_seconds");
+  return h;
+}
+MetricsRegistry::Histogram& histSubproblemSeconds() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("aed.subproblem_seconds");
+  return h;
+}
+MetricsRegistry::Histogram& histRoundSeconds() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("aed.round_seconds");
+  return h;
+}
+MetricsRegistry::Histogram& histConflicts() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("smt.conflicts");
+  return h;
+}
+MetricsRegistry::Histogram& histDecisions() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("smt.decisions");
+  return h;
+}
+
+/// JSON escaping for the flight-dump subproblem section.
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders the per-subproblem states (outcome, rung, solver effort) as a
+/// JSON array for the flight dump's "subproblems" section.
+std::string subproblemsJson(const AedResult& result) {
+  std::string out = "[";
+  bool first = true;
+  for (const SubproblemReport& report : result.subproblems) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"index\": " + std::to_string(report.index) +
+           ", \"destination\": \"" + jsonEscape(report.destination) +
+           "\", \"outcome\": \"" + subOutcomeName(report.outcome) +
+           "\", \"code\": \"" + errorCodeName(report.code) +
+           "\", \"rung\": \"" + solveRungName(report.rung) +
+           "\", \"seconds\": " + std::to_string(report.seconds) +
+           ", \"conflicts\": " + std::to_string(report.solverStats.conflicts) +
+           ", \"decisions\": " + std::to_string(report.solverStats.decisions) +
+           ", \"vars\": " + std::to_string(report.solverStats.vars) +
+           ", \"assertions\": " +
+           std::to_string(report.solverStats.assertions) +
+           ", \"detail\": \"" + jsonEscape(report.detail) + "\"}";
+  }
+  out += "\n  ]";
+  return out;
 }
 
 /// Mirrors one phase breakdown into the unified counter registry under
@@ -87,9 +170,29 @@ void publishStats(const AedResult& result) {
   metrics.add("sim.targeted_invalidations",
               static_cast<double>(sim.targetedInvalidations));
   metrics.add("sim.evictions", static_cast<double>(sim.evictions));
+  metrics.add("sim.quarantined_tables", static_cast<double>(sim.quarantined));
   metrics.add("sim.parallel_batches",
               static_cast<double>(sim.parallelBatches));
   metrics.add("sim.parallel_tasks", static_cast<double>(sim.parallelTasks));
+
+  // Ladder-rung outcome counters (§12), registered even at zero so the
+  // snapshot is complete (a missing known stat fails tests/obs_test.cpp).
+  static const char* const kRungCounterNames[] = {
+      "smt.rung.none",          "smt.rung.warm_start", "smt.rung.full",
+      "smt.rung.no_minimality", "smt.rung.hard_only",  "smt.rung.unsat",
+      "smt.rung.gave_up",
+  };
+  for (std::size_t r = 1; r < stats.rungCounts.size(); ++r) {
+    metrics.add(kRungCounterNames[r], static_cast<double>(stats.rungCounts[r]));
+  }
+
+  // Touch the engine histograms so they exist in every post-run snapshot,
+  // recorded or not.
+  histCheckSeconds();
+  histSubproblemSeconds();
+  histRoundSeconds();
+  histConflicts();
+  histDecisions();
 }
 
 }  // namespace
@@ -192,8 +295,14 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     destinations.push_back("*");
   }
   result.stats.subproblems = groups.size();
+  Progress::setPhase("solve");
+  Progress::setRound(0);
+  Progress::setWork(groups.size());
 
   std::vector<SubResult> subResults(groups.size());
+  // Solver effort per group, accumulated across repair rounds on the
+  // coordinating thread (subResults only keeps the last round's solve).
+  std::vector<SolverStats> solverTotals(groups.size());
 
   // One persistent solver per destination group, alive across repair rounds
   // (the incremental re-solve engine): a repair round pushes only the new
@@ -230,6 +339,9 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       report.code = sub.code;
       report.detail = sub.detail;
       report.seconds = sub.seconds;
+      report.rung = sub.rung;
+      report.rungReason = sub.rungReason;
+      report.solverStats = solverTotals[i];
       res.subproblems.push_back(std::move(report));
 
       if (sub.outcome == SubOutcome::kDegraded) {
@@ -258,6 +370,20 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
                                   violatedLabels.end());
     res.stats.totalSeconds = secondsSince(start);
     publishStats(res);
+    Progress::setPhase(res.success ? (res.degraded ? "degraded" : "done")
+                                   : "failed");
+
+    // Post-mortem (§12): any non-clean exit — failed, thrown (via the unwind
+    // guard), cancelled, or degraded — leaves a flight dump behind when a
+    // dump destination is configured.
+    if (!res.success || res.degraded) {
+      FlightRecorder::DumpContext dump;
+      dump.reason = !res.success ? "synthesize-failed" : "synthesize-degraded";
+      dump.errorCode = errorCodeName(res.errorCode);
+      dump.detail = res.error;
+      dump.sections.emplace_back("subproblems", subproblemsJson(res));
+      FlightRecorder::maybeDump(dump);
+    }
   };
 
   const auto fail = [&](ErrorCode code,
@@ -319,6 +445,15 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
       roundSpan.setDetail("round=" + std::to_string(round) +
                           " pending=" + std::to_string(pending.size()));
     }
+    Progress::setPhase(round == 0 ? "solve" : "repair");
+    Progress::setRound(static_cast<std::size_t>(round));
+    Progress::setWork(pending.size());
+    // Repair-round duration (solve + validate), recorded however the
+    // iteration exits (success break, fail return, or rethrow).
+    struct RoundTimer {
+      Clock::time_point start = Clock::now();
+      ~RoundTimer() { histRoundSeconds().record(secondsSince(start)); }
+    } roundTimer;
 
     // Split the remaining global budget across the queued subproblems: each
     // of the ceil(pending/workers) sequential batches gets an equal share.
@@ -405,6 +540,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
         subResults[i] = failedSubResult(
             SubOutcome::kError, ErrorCode::kSubproblemFailed, e.what());
       }
+      Progress::incrDone();
     };
     std::exception_ptr fatal;
     if (options.perDestination && pending.size() > 1 && workers > 1) {
@@ -457,11 +593,24 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     PhaseBreakdown& phaseBucket =
         round == 0 ? result.stats.firstRound : result.stats.repair;
     for (std::size_t i : pending) {
-      phaseBucket.sketchSeconds += subResults[i].phases.sketchSeconds;
-      phaseBucket.encodeSeconds += subResults[i].phases.encodeSeconds;
-      phaseBucket.solveSeconds += subResults[i].phases.solveSeconds;
-      phaseBucket.extractSeconds += subResults[i].phases.extractSeconds;
-      if (subResults[i].warmStart) ++result.stats.warmStartSolves;
+      const SubResult& sub = subResults[i];
+      phaseBucket.sketchSeconds += sub.phases.sketchSeconds;
+      phaseBucket.encodeSeconds += sub.phases.encodeSeconds;
+      phaseBucket.solveSeconds += sub.phases.solveSeconds;
+      phaseBucket.extractSeconds += sub.phases.extractSeconds;
+      if (sub.warmStart) ++result.stats.warmStartSolves;
+      // §12 introspection, merged post-join on this thread: per-solve
+      // latency/effort distributions and ladder-rung outcomes.
+      histSubproblemSeconds().record(sub.seconds);
+      if (sub.rung != SolveRung::kNone) {
+        histCheckSeconds().record(sub.phases.solveSeconds);
+        histConflicts().record(
+            static_cast<double>(sub.solverStats.conflicts));
+        histDecisions().record(
+            static_cast<double>(sub.solverStats.decisions));
+        ++result.stats.rungCounts[static_cast<std::size_t>(sub.rung)];
+        solverTotals[i].accumulate(sub.solverStats);
+      }
     }
     if (fatal) std::rethrow_exception(fatal);
 
@@ -540,6 +689,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
     PolicySet violated;
     {
       AED_SPAN("aed.validate");
+      Progress::setPhase("validate");
       if (options.memoizedSimulator) {
         if (simEngine == nullptr) {
           simEngine = std::make_unique<SimulationEngine>(
@@ -655,6 +805,7 @@ AedResult synthesize(const ConfigTree& tree, const PolicySet& policies,
   // itself is still valid — and result.updated keeps its meaning: the tree
   // after the *full* patch.
   if (options.stagedDeployment && !result.patch.empty()) {
+    Progress::setPhase("deploy");
     DeployOptions deployOptions = options.deploy;
     if (deployOptions.workers == 0) deployOptions.workers = options.workers;
     if (deployOptions.simCacheMaxEntries == 0) {

@@ -29,6 +29,7 @@
 // returned in AedResult::subproblems.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "policy/policy.hpp"
 #include "simulate/engine.hpp"
 #include "sketch/sketch.hpp"
+#include "smt/solver_stats.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 
@@ -185,6 +187,13 @@ struct SubproblemReport {
   ErrorCode code = ErrorCode::kNone;
   std::string detail;  // human-readable: exception text, ladder rung, ...
   double seconds = 0.0;
+  /// Solver introspection (§12): the rung that produced the final answer
+  /// (last solve of the last round), why, and Z3 effort counters summed
+  /// across every round of this subproblem. aed_cli --solver-stats prints
+  /// the per-destination breakdown.
+  SolveRung rung = SolveRung::kNone;
+  std::string rungReason;
+  SolverStats solverStats;
 };
 
 /// Wall-clock seconds per engine phase, summed across subproblems (so under
@@ -223,6 +232,11 @@ struct AedStats {
   /// run). Only persistent solvers can warm-start, so this stays 0 with
   /// incrementalResolve off.
   std::size_t warmStartSolves = 0;
+
+  /// Ladder-rung outcome counts across every solve of the run (one count per
+  /// SmtSession::check call that returned; mirrored as smt.rung.* counters).
+  /// Indexed by static_cast<size_t>(SolveRung).
+  std::array<std::size_t, 7> rungCounts{};
 
   /// Simulation-engine cache behavior across all validation rounds (zeroed
   /// when memoizedSimulator is off or validation never ran).

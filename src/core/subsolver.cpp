@@ -110,6 +110,9 @@ SubResult SubproblemSolver::solve(
   result.phases.solveSeconds = secondsSince(phaseStart);
   result.sat = check.sat;
   result.warmStart = check.warmStart;
+  result.rung = check.rung;
+  result.rungReason = std::move(check.rungReason);
+  result.solverStats = check.stats;
   ++rounds_;
 
   if (!check.sat) {

@@ -61,6 +61,12 @@ struct SubResult {
   /// True when the solve was served by the session's incremental warm-start
   /// fast path (single SAT query at the previous optimum, no MaxSMT run).
   bool warmStart = false;
+  /// Introspection (§12): which ladder rung answered this solve and why,
+  /// plus Z3 effort counters and encoding sizes for the call. Totals across
+  /// the rounds of one subproblem accumulate in SubproblemReport.
+  SolveRung rung = SolveRung::kNone;
+  std::string rungReason;
+  SolverStats solverStats;
 };
 
 class SubproblemSolver {

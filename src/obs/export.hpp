@@ -1,0 +1,48 @@
+// Machine-readable metrics export (introspection layer, DESIGN.md §12).
+//
+// Two formats over the same MetricsRegistry snapshot:
+//
+//  - Prometheus text exposition format (version 0.0.4): names sanitized
+//    ('.' and other non-[a-zA-Z0-9_:] characters become '_'), one `# TYPE`
+//    line per family; histograms emit cumulative `_bucket{le="..."}` series
+//    for every non-empty bucket plus `+Inf`, and `_sum` / `_count`. A scrape
+//    endpoint or promtool can consume the file as-is.
+//
+//  - JSON snapshot: an object with a `metrics` array; each entry carries
+//    name/kind/value, and histograms additionally count/sum, p50/p90/p99
+//    estimates, and their non-empty buckets as [lowerBound, upperBound,
+//    count] triples. Self-describing, so dashboards and the aed_check sweep
+//    report can embed it without knowing the bucket scheme.
+//
+// `aed_cli --metrics-out <file>` and the AED_METRICS_OUT environment
+// variable (honored by every bench and by aed_check) route through
+// exportMetricsFile(), which picks JSON for paths ending in ".json" and
+// Prometheus text otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace aed {
+
+/// Renders samples in Prometheus text exposition format.
+std::string metricsToPrometheus(
+    const std::vector<MetricsRegistry::Sample>& samples);
+
+/// Renders samples as a self-describing JSON snapshot.
+std::string metricsToJson(
+    const std::vector<MetricsRegistry::Sample>& samples);
+
+/// The bare JSON array of metric objects (what metricsToJson wraps) — for
+/// embedding in larger documents (flight dumps, the aed_check sweep report).
+std::string metricsToJsonArray(
+    const std::vector<MetricsRegistry::Sample>& samples);
+
+/// Writes the global registry's snapshot to `path` — JSON when the path ends
+/// in ".json", Prometheus text otherwise. Returns false when the file cannot
+/// be written.
+bool exportMetricsFile(const std::string& path);
+
+}  // namespace aed

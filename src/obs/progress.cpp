@@ -1,0 +1,94 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace aed {
+
+namespace {
+
+std::atomic<const char*> g_phase{"idle"};
+std::atomic<std::size_t> g_round{0};
+std::atomic<std::size_t> g_done{0};
+std::atomic<std::size_t> g_total{0};
+
+}  // namespace
+
+void Progress::setPhase(const char* phase) {
+  g_phase.store(phase, std::memory_order_relaxed);
+}
+
+void Progress::setWork(std::size_t total) {
+  g_total.store(total, std::memory_order_relaxed);
+  g_done.store(0, std::memory_order_relaxed);
+}
+
+void Progress::incrDone() { g_done.fetch_add(1, std::memory_order_relaxed); }
+
+void Progress::setRound(std::size_t round) {
+  g_round.store(round, std::memory_order_relaxed);
+}
+
+Progress::State Progress::state() {
+  State state;
+  state.phase = g_phase.load(std::memory_order_relaxed);
+  state.round = g_round.load(std::memory_order_relaxed);
+  state.done = g_done.load(std::memory_order_relaxed);
+  state.total = g_total.load(std::memory_order_relaxed);
+  return state;
+}
+
+struct ProgressReporter::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::chrono::milliseconds interval;
+  std::thread thread;
+
+  static void print(const Progress::State& state) {
+    // One self-contained line; stderr so stdout stays machine-readable.
+    std::fprintf(stderr, "aed: phase=%s round=%zu subproblems %zu/%zu\n",
+                 state.phase, state.round, state.done, state.total);
+  }
+
+  void run() {
+    Progress::State last;
+    bool printedAny = false;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stop) {
+      cv.wait_for(lock, interval, [this] { return stop; });
+      if (stop) break;
+      const Progress::State now = Progress::state();
+      const bool changed = !printedAny || now.phase != last.phase ||
+                           now.round != last.round || now.done != last.done ||
+                           now.total != last.total;
+      if (changed) {
+        print(now);
+        last = now;
+        printedAny = true;
+      }
+    }
+  }
+};
+
+ProgressReporter::ProgressReporter(std::chrono::milliseconds interval)
+    : impl_(new Impl()) {
+  impl_->interval = interval;
+  impl_->thread = std::thread([impl = impl_] { impl->run(); });
+}
+
+ProgressReporter::~ProgressReporter() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  Impl::print(Progress::state());  // final position, even on failure paths
+  delete impl_;
+}
+
+}  // namespace aed

@@ -1,0 +1,62 @@
+// Opt-in live progress reporting (introspection layer, DESIGN.md §12).
+//
+// Long synthesis runs (hundreds of destinations, minutes of MaxSMT) are
+// silent by default; operators watching a terminal or a CI log only learn
+// the outcome. The engine therefore publishes its coarse position — current
+// phase, repair round, subproblems completed / total — into a handful of
+// process-wide relaxed atomics (a few nanoseconds per update, always on),
+// and `aed_cli --progress` starts a ProgressReporter: a background thread
+// that prints one status line to stderr at a fixed interval while the run
+// is in flight, e.g.
+//
+//   aed: phase=solve round=2 subproblems 5/8
+//
+// stderr keeps the machine-readable stdout contract of the CLIs intact.
+// The reporter never reads engine state directly — only these atomics — so
+// it cannot race with or slow down the solve.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace aed {
+
+/// The engine-side publication points. All updates are relaxed atomic
+/// stores; safe from any thread.
+class Progress {
+ public:
+  struct State {
+    const char* phase = "idle";  // static-storage literal
+    std::size_t round = 0;
+    std::size_t done = 0;
+    std::size_t total = 0;
+  };
+
+  /// `phase` must have static storage duration (string literals).
+  static void setPhase(const char* phase);
+  /// Declares how many subproblems the current phase will complete and
+  /// resets the done counter.
+  static void setWork(std::size_t total);
+  /// Marks one unit of the current phase's work complete.
+  static void incrDone();
+  static void setRound(std::size_t round);
+
+  static State state();
+};
+
+/// Background stderr reporter; prints a status line every `interval` while
+/// alive (only when the state changed), plus a final line on destruction.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(500));
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace aed

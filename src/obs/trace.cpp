@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/flight.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -120,6 +122,8 @@ void escapeJson(std::string_view text, std::string& out) {
 
 }  // namespace
 
+std::int64_t tracerNowUs() { return nowUs(); }
+
 bool Tracer::enabledFlag() {
   return g_enabled.load(std::memory_order_relaxed);
 }
@@ -211,18 +215,22 @@ bool Tracer::writeChromeTrace(const std::string& path) {
 
 void Span::open(const char* name) {
   name_ = name;
-  if (!Tracer::enabledFlag()) return;  // inactive: id_ stays 0
-  id_ = g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
-  parent_ = t_currentSpan;
-  t_currentSpan = id_;
-  startUs_ = nowUs();
+  if (Tracer::enabledFlag()) {
+    id_ = g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
+    parent_ = t_currentSpan;
+    t_currentSpan = id_;
+  }
+  flight_ = FlightRecorder::enabled();
+  if (id_ != 0 || flight_) startUs_ = nowUs();
 }
 
 Span::Span(const char* name) { open(name); }
 
 Span::Span(const char* name, std::string detail) {
   open(name);
-  if (id_ != 0) detail_ = std::move(detail);
+  // The caller already built the string; keeping it for the flight ring's
+  // (truncated) text costs a move, not an allocation.
+  if (id_ != 0 || flight_) detail_ = std::move(detail);
 }
 
 void Span::setDetail(std::string detail) {
@@ -230,6 +238,9 @@ void Span::setDetail(std::string detail) {
 }
 
 Span::~Span() {
+  if (id_ == 0 && !flight_) return;
+  const std::int64_t durUs = nowUs() - startUs_;
+  if (flight_) FlightRecorder::recordSpan(name_, detail_, startUs_, durUs);
   if (id_ == 0) return;
   t_currentSpan = parent_;
   TraceEvent event;
@@ -238,7 +249,7 @@ Span::~Span() {
   event.id = id_;
   event.parent = parent_;
   event.startUs = startUs_;
-  event.durUs = nowUs() - startUs_;
+  event.durUs = durUs;
   threadBuffer().append(std::move(event));
 }
 

@@ -15,13 +15,16 @@
 // for every task, so a subproblem span opened on a worker parents correctly
 // under the round span that enqueued it (asserted by tests/obs_test.cpp).
 //
-// Cost model. Tracing is off by default. A disabled Span is one relaxed
-// atomic load and two stores to a trivially-constructible struct: no clock
-// read, no allocation (asserted by an operator-new-counting test), no lock.
-// An enabled Span appends to a per-thread buffer whose mutex is only ever
-// contended by a concurrent exporter, so steady-state recording never blocks
-// on other threads. Compiling with -DAED_DISABLE_TRACING removes the
-// AED_SPAN statements entirely.
+// Cost model. Tracing is off by default. A fully disabled Span (tracer off
+// AND FlightRecorder off) is two relaxed atomic loads and a few stores to a
+// trivially-constructible struct: no clock read, no allocation (asserted by
+// an operator-new-counting test), no lock. An enabled Span appends to a
+// per-thread buffer whose mutex is only ever contended by a concurrent
+// exporter, so steady-state recording never blocks on other threads. The
+// always-on flight recorder (obs/flight.hpp) additionally receives every
+// closed span — two clock reads plus a bounded copy into the thread's own
+// ring — unless explicitly switched off. Compiling with
+// -DAED_DISABLE_TRACING removes the AED_SPAN statements entirely.
 //
 // Thread-buffer lifetime: buffers are registered with a process-wide
 // collector on first use and flush their remaining events into it when their
@@ -34,6 +37,10 @@
 #include <vector>
 
 namespace aed {
+
+/// Microseconds since the tracer epoch (process start, steady_clock) — the
+/// time base every TraceEvent and flight-recorder event shares.
+std::int64_t tracerNowUs();
 
 #if defined(AED_DISABLE_TRACING)
 #define AED_TRACING_COMPILED 0
@@ -100,22 +107,25 @@ class Tracer {
 };
 
 /// RAII span: records one TraceEvent from construction to destruction when
-/// tracing is enabled, and is inert (no clock, no allocation) otherwise.
-/// `name` must have static storage duration (string literals).
+/// tracing is enabled, feeds the flight recorder's ring whenever that is
+/// enabled (the default), and is inert (no clock, no allocation) when both
+/// are off. `name` must have static storage duration (string literals).
 class Span {
  public:
   explicit Span(const char* name);
-  /// The detail string is only constructed into the span when tracing is
-  /// enabled; callers on hot paths should prefer the name-only overload or
-  /// setDetail() under `if (active())`.
+  /// The detail string is only constructed into the span when the tracer or
+  /// the flight recorder will record it; callers on hot paths should prefer
+  /// the name-only overload or setDetail() under `if (active())`.
   Span(const char* name, std::string detail);
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  /// True when this span is being recorded (tracing was enabled at open).
+  /// True when this span is being recorded by the tracer (enabled at open).
+  /// Deliberately excludes flight-only recording: hot paths use this to gate
+  /// detail-string construction, which the bounded flight ring doesn't need.
   bool active() const { return id_ != 0; }
-  /// Attaches/replaces the annotation; no-op on an inactive span.
+  /// Attaches/replaces the annotation; no-op on a tracer-inactive span.
   void setDetail(std::string detail);
   std::uint64_t id() const { return id_; }
 
@@ -124,9 +134,10 @@ class Span {
 
   const char* name_;
   std::string detail_;
-  std::uint64_t id_ = 0;      // 0 = inactive
+  std::uint64_t id_ = 0;      // 0 = not traced
   std::uint64_t parent_ = 0;
   std::int64_t startUs_ = 0;
+  bool flight_ = false;       // recorded into the flight ring on close
 };
 
 #if AED_TRACING_COMPILED

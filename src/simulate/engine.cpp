@@ -1,11 +1,13 @@
 #include "simulate/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <set>
 #include <thread>
 
 #include "conftree/node.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -15,6 +17,26 @@ namespace aed {
 namespace {
 
 constexpr std::size_t kNoRouter = static_cast<std::size_t>(-1);
+
+/// Per-shard wall-clock distribution (§12). The handle is cached once; the
+/// record itself is a few relaxed atomic adds, so calling it from pool
+/// workers inside the fan-out lambdas is TSan-clean by construction.
+MetricsRegistry::Histogram& histShardSeconds() {
+  static MetricsRegistry::Histogram h =
+      MetricsRegistry::global().histogram("sim.shard_seconds");
+  return h;
+}
+
+/// RAII: records the enclosing scope's duration into sim.shard_seconds.
+struct ShardTimer {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  ~ShardTimer() {
+    histShardSeconds().record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+};
 
 // Same edit identity as mergePatches() in core/aed.cpp: two edits with equal
 // keys produce identical tree mutations.
@@ -233,6 +255,9 @@ SimulationEngine::SimulationEngine(const ConfigTree& tree, std::size_t workers,
                                    std::size_t maxCacheEntries)
     : tree_(tree.clone()), workers_(workers),
       maxCacheEntries_(maxCacheEntries) {
+  // Touch the shard-latency histogram so it appears in every snapshot that
+  // involves an engine, even before the first fan-out records into it.
+  histShardSeconds();
   compile();
 }
 
@@ -947,6 +972,7 @@ PolicySet SimulationEngine::violations(const PolicySet& policies) const {
       const std::vector<std::size_t>* slot = &indices;
       tasks.push_back([this, &policies, &violated, slot] {
         AED_SPAN("sim.shard");
+        const ShardTimer shardTimer;
         for (const std::size_t i : *slot) {
           violated[i] = !checkPolicy(policies[i]);
         }
@@ -994,6 +1020,7 @@ PolicySet SimulationEngine::inferReachabilityPolicies() const {
     for (std::size_t dstIdx = 0; dstIdx < n; ++dstIdx) {
       tasks.push_back([&probe, dstIdx] {
         AED_SPAN("sim.shard");
+        const ShardTimer shardTimer;
         probe(dstIdx);
       });
     }
@@ -1029,6 +1056,10 @@ SimCacheStats SimulationEngine::cacheStats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.parallelBatches = parallelBatches_.load(std::memory_order_relaxed);
   stats.parallelTasks = parallelTasks_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(shardsMutex_);
+    stats.quarantined = evictedQuarantine_.size();
+  }
   return stats;
 }
 

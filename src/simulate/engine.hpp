@@ -65,6 +65,8 @@ struct SimCacheStats {
   std::size_t fullInvalidations = 0;   // rebinds that wiped the whole cache
   std::size_t targetedInvalidations = 0;  // rebinds attributed to prefixes
   std::size_t evictions = 0;  // cached tables dropped by the LRU entry cap
+  std::size_t quarantined = 0;  // evicted tables currently parked in the
+                                // quarantine (cleared by the next rebind)
   std::size_t parallelBatches = 0;  // violations()/infer() calls that fanned out
   std::size_t parallelTasks = 0;    // destination-shard tasks submitted
 

@@ -8,6 +8,45 @@
 
 namespace aed {
 
+namespace {
+
+/// Accumulates a z3::stats block into SolverStats by key substring — Z3's
+/// stat names vary across engines and versions ("conflicts",
+/// "sat conflicts", "restarts", "max memory", ...), so exact-name matching
+/// would silently capture nothing on half of them.
+void accumulateZ3Stats(SolverStats& out, const z3::stats& zstats) {
+  try {
+    for (unsigned i = 0; i < zstats.size(); ++i) {
+      const std::string key = zstats.key(i);
+      const double value = zstats.is_uint(i)
+                               ? static_cast<double>(zstats.uint_value(i))
+                               : zstats.double_value(i);
+      if (key.find("conflict") != std::string::npos) {
+        out.conflicts += static_cast<std::uint64_t>(value);
+      } else if (key.find("decision") != std::string::npos) {
+        out.decisions += static_cast<std::uint64_t>(value);
+      } else if (key.find("restart") != std::string::npos) {
+        out.restarts += static_cast<std::uint64_t>(value);
+      } else if (key.find("memory") != std::string::npos) {
+        out.maxMemoryMb = std::max(out.maxMemoryMb, value);
+      }
+    }
+  } catch (const z3::exception&) {
+    // Introspection is best-effort; never let it fail a solve.
+  }
+}
+
+template <typename Solver>
+void captureCheck(SolverStats& out, Solver& solver) {
+  ++out.checks;
+  try {
+    accumulateZ3Stats(out, solver.statistics());
+  } catch (const z3::exception&) {
+  }
+}
+
+}  // namespace
+
 z3::expr SmtSession::boolVar(const std::string& name) {
   const auto it = vars_.find(name);
   if (it != vars_.end()) return it->second;
@@ -144,7 +183,9 @@ bool SmtSession::tryWarmCheck(Result& result) {
     z3::expr_vector assumptions(ctx_);
     assumptions.push_back(indicator);
     if (!applyBudget(probe_)) return false;
-    if (probe_.check(assumptions) != z3::sat) {
+    const z3::check_result probeStatus = probe_.check(assumptions);
+    captureCheck(result.stats, probe_);
+    if (probeStatus != z3::sat) {
       return false;  // optimum grew (or unknown)
     }
 
@@ -155,6 +196,11 @@ bool SmtSession::tryWarmCheck(Result& result) {
     result.status = "sat";
     result.degradation = Degradation::kNone;
     result.warmStart = true;
+    result.rung = SolveRung::kWarmStart;
+    result.rungReason = "plain-SAT probe found a model at the previous "
+                        "optimal cost " +
+                        std::to_string(*lastOptimalCost_) +
+                        " (provably still optimal)";
     reportObjectives(result);
     return true;
   } catch (const z3::exception&) {
@@ -165,6 +211,13 @@ bool SmtSession::tryWarmCheck(Result& result) {
 SmtSession::Result SmtSession::check() {
   Span span("smt.check");
   Result result;
+  // Encoding sizes describe what this check is being asked to solve; effort
+  // counters accumulate as the rungs below actually run the solver.
+  result.stats.vars = vars_.size();
+  try {
+    result.stats.assertions = opt_.assertions().size() + softExprs_.size();
+  } catch (const z3::exception&) {
+  }
 
   // ---- rung 0: incremental warm start -------------------------------------
   // On a re-check after addHard() calls (the repair-round path), first ask a
@@ -184,6 +237,7 @@ SmtSession::Result SmtSession::check() {
     logWarn() << "fault injection: forcing an unknown MaxSMT verdict";
   } else if (budgetLeft) {
     status = opt_.check();
+    captureCheck(result.stats, opt_);
   }
 
   // Z3 4.8.x's default MaxSAT engine (maxres) can report bogus UNSAT on
@@ -198,7 +252,9 @@ SmtSession::Result SmtSession::check() {
     // indicator-guarded cost bounds are inert without assumptions), so the
     // cross-check needs no rebuild.
     applyBudget(probe_);
-    if (probe_.check() == z3::sat) {
+    const z3::check_result crossCheck = probe_.check();
+    captureCheck(result.stats, probe_);
+    if (crossCheck == z3::sat) {
       logWarn() << "optimize reported unsat but the hard constraints are "
                    "satisfiable; retrying with the wmax engine";
       try {
@@ -207,6 +263,7 @@ SmtSession::Result SmtSession::check() {
         opt_.set(params);
         applyBudget(opt_);
         status = opt_.check();
+        captureCheck(result.stats, opt_);
       } catch (const z3::exception&) {
         status = z3::unknown;
       }
@@ -216,6 +273,11 @@ SmtSession::Result SmtSession::check() {
         result.sat = true;
         result.status = "sat";
         result.degradation = Degradation::kHardOnly;
+        result.rung = SolveRung::kHardOnly;
+        result.rungReason =
+            "MaxSMT engine reported a bogus unsat (hard constraints are "
+            "satisfiable) and the wmax retry failed; kept the plain-SAT "
+            "model, soft objectives unoptimized";
         reportObjectives(result);
         return result;
       }
@@ -225,6 +287,8 @@ SmtSession::Result SmtSession::check() {
   if (status == z3::sat) {
     result.sat = true;
     result.status = "sat";
+    result.rung = SolveRung::kFull;
+    result.rungReason = "full MaxSMT optimum over user + minimality softs";
     model_ = opt_.get_model();
     // Remember the optimum for the next incremental re-check's warm start.
     unsigned long long cost = 0;
@@ -240,6 +304,9 @@ SmtSession::Result SmtSession::check() {
   if (status == z3::unsat) {
     result.status = "unsat";
     result.code = ErrorCode::kUnsat;
+    result.rung = SolveRung::kUnsat;
+    result.rungReason = "hard constraints unsatisfiable (cross-checked "
+                        "against the plain-SAT mirror)";
     return result;
   }
 
@@ -249,6 +316,9 @@ SmtSession::Result SmtSession::check() {
     result.status = budgetLeft ? "unknown" : "timeout";
     result.code =
         budgetLeft ? ErrorCode::kSolverUnknown : ErrorCode::kTimeout;
+    result.rung = SolveRung::kGaveUp;
+    result.rungReason = std::string("full MaxSMT ") + result.status +
+                        "; degradation ladder disabled";
     return result;
   }
 
@@ -273,13 +343,21 @@ SmtSession::Result SmtSession::check() {
           reduced.add_soft(softExprs_[i], softInfos_[i].weight);
         }
       }
-      if (applyBudget(reduced) && reduced.check() == z3::sat) {
-        result.sat = true;
-        result.status = "sat";
-        result.degradation = Degradation::kNoMinimality;
-        model_ = reduced.get_model();
-        reportObjectives(result);
-        return result;
+      if (applyBudget(reduced)) {
+        const z3::check_result reducedStatus = reduced.check();
+        captureCheck(result.stats, reduced);
+        if (reducedStatus == z3::sat) {
+          result.sat = true;
+          result.status = "sat";
+          result.degradation = Degradation::kNoMinimality;
+          result.rung = SolveRung::kNoMinimality;
+          result.rungReason =
+              "full MaxSMT timed out/unknown; re-solved with minimality "
+              "softs dropped (user objectives kept)";
+          model_ = reduced.get_model();
+          reportObjectives(result);
+          return result;
+        }
       }
     } catch (const z3::exception& e) {
       logWarn() << "reduced MaxSMT retry failed: " << e.msg();
@@ -294,10 +372,15 @@ SmtSession::Result SmtSession::check() {
       // assertions, so this rung is an incremental query, not a rebuild.
       if (applyBudget(probe_)) {
         const z3::check_result plainStatus = probe_.check();
+        captureCheck(result.stats, probe_);
         if (plainStatus == z3::sat) {
           result.sat = true;
           result.status = "sat";
           result.degradation = Degradation::kHardOnly;
+          result.rung = SolveRung::kHardOnly;
+          result.rungReason =
+              "both MaxSMT rungs timed out/unknown; plain SAT over the hard "
+              "constraints only (policy-compliant, nothing optimized)";
           model_ = probe_.get_model();
           reportObjectives(result);
           return result;
@@ -305,6 +388,9 @@ SmtSession::Result SmtSession::check() {
         if (plainStatus == z3::unsat) {
           result.status = "unsat";
           result.code = ErrorCode::kUnsat;
+          result.rung = SolveRung::kUnsat;
+          result.rungReason =
+              "hard constraints unsatisfiable (found at the plain-SAT rung)";
           return result;
         }
       }
@@ -317,6 +403,10 @@ SmtSession::Result SmtSession::check() {
   const bool expired = deadline_.expired();
   result.status = expired ? "timeout" : "unknown";
   result.code = expired ? ErrorCode::kTimeout : ErrorCode::kSolverUnknown;
+  result.rung = SolveRung::kGaveUp;
+  result.rungReason =
+      expired ? "wall-clock deadline expired before any ladder rung answered"
+              : "every ladder rung returned unknown";
   return result;
 }
 

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "smt/solver_stats.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 
@@ -172,6 +173,12 @@ class SmtSession {
     /// Labels of soft constraints satisfied / violated by the model.
     std::vector<std::string> satisfiedObjectives;
     std::vector<std::string> violatedObjectives;
+    /// Introspection (§12): which ladder rung produced this answer and why,
+    /// plus the Z3 effort counters summed across the rung attempts of this
+    /// check() call.
+    SolveRung rung = SolveRung::kNone;
+    std::string rungReason;
+    SolverStats stats;
   };
 
   /// Runs the MaxSMT query (with the degradation ladder in anytime mode).

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace aed {
@@ -48,6 +49,9 @@ void setLogSink(LogSink sink) {
 void logMessage(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   MetricsRegistry::global().add(levelMetric(level), 1.0);
+  // Mirror every emitted line into the flight recorder's per-thread ring so
+  // a post-mortem dump carries the log tail alongside the recent spans.
+  FlightRecorder::recordLog(levelName(level), message);
   // Format the whole line outside the lock, then emit it with one write:
   // concurrent callers (ThreadPool workers logging mid-solve) serialize on
   // the mutex and each line reaches stderr intact, never interleaved.

@@ -1,9 +1,12 @@
-// Unified tracing & metrics layer (src/obs) plus the concurrency/accounting
-// hardening that rides with it: span nesting within and across ThreadPool
-// workers, Chrome trace-event JSON validity, counter-registry merge
-// semantics, the disabled-mode zero-allocation guarantee, logger line
-// atomicity under thread stress, and stats attribution on failed and
-// thrown synthesis runs.
+// Unified tracing & metrics layer (src/obs) plus the introspection layer
+// riding on it (§12) and the concurrency/accounting hardening: span nesting
+// within and across ThreadPool workers, Chrome trace-event JSON validity,
+// counter-registry merge semantics, histogram buckets/quantiles/merge,
+// Prometheus and JSON export validity, the flight recorder (ring
+// wraparound, dump-on-failure for every exit class, concurrent writes),
+// solver introspection surfaced per subproblem, the disabled-mode
+// zero-allocation guarantee, logger line atomicity under thread stress, and
+// stats attribution on failed and thrown synthesis runs.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <map>
 #include <memory>
@@ -21,14 +26,19 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "apply/deploy.hpp"
+#include "apply/plan.hpp"
 #include "conftree/parser.hpp"
 #include "core/aed.hpp"
 #include "fixtures.hpp"
 #include "gen/netgen.hpp"
 #include "gen/policygen.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -69,16 +79,23 @@ PolicySet figure1AllPolicies() {
           aed::testing::figure1P3()};
 }
 
-/// Fresh tracer state per test; restores the disabled default afterwards.
+/// Fresh tracer/flight state per test; restores the defaults afterwards
+/// (tracer off, flight recorder on, no dump path).
 class ObsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     Tracer::disable();
     Tracer::clear();
+    FlightRecorder::setEnabled(true);
+    FlightRecorder::setDumpPath("");
+    FlightRecorder::clear();
   }
   void TearDown() override {
     Tracer::disable();
     Tracer::clear();
+    FlightRecorder::setEnabled(true);
+    FlightRecorder::setDumpPath("");
+    FlightRecorder::clear();
     setLogSink(nullptr);
     setLogLevel(LogLevel::kWarn);
   }
@@ -197,7 +214,11 @@ TEST_F(ObsTest, ScopedParentInstallsAndRestoresContext) {
 // ---- disabled mode ----------------------------------------------------------
 
 TEST_F(ObsTest, DisabledSpansRecordNothingAndNeverAllocate) {
+  // Fully disabled means tracer off AND flight recorder off; the flight
+  // recorder defaults on, so the zero-alloc guarantee is for the opted-out
+  // configuration.
   ASSERT_FALSE(Tracer::enabled());
+  FlightRecorder::setEnabled(false);
   g_allocCount.store(0);
   g_countAllocs.store(true);
   for (int i = 0; i < 1000; ++i) {
@@ -206,6 +227,7 @@ TEST_F(ObsTest, DisabledSpansRecordNothingAndNeverAllocate) {
   g_countAllocs.store(false);
   EXPECT_EQ(g_allocCount.load(), 0u);
   EXPECT_TRUE(Tracer::collect().empty());
+  EXPECT_TRUE(FlightRecorder::collect().empty());
 }
 
 TEST_F(ObsTest, SpanOpenedWhileDisabledStaysUnrecorded) {
@@ -496,6 +518,514 @@ TEST_F(ObsTest, ConcurrentSpansAndExportsAreRaceFree) {
   const auto events = Tracer::collect();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(std::string(events[0].name), "stress.tail");
+}
+
+// ---- histograms (§12) -------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketSchemeCoversTheRealLine) {
+  // Non-positive and non-finite values land in the catch-all buckets.
+  EXPECT_EQ(MetricsRegistry::bucketIndex(0.0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucketIndex(-3.0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucketIndex(1e300),
+            MetricsRegistry::kHistogramBuckets - 1);
+  // Every positive value falls inside its bucket's [lo, hi) range.
+  for (const double v : {1e-9, 1e-6, 1e-3, 0.5, 1.0, 3.0, 1000.0, 1e9}) {
+    const std::size_t i = MetricsRegistry::bucketIndex(v);
+    ASSERT_LT(i, MetricsRegistry::kHistogramBuckets) << v;
+    EXPECT_GE(v, MetricsRegistry::bucketLowerBound(i)) << v;
+    EXPECT_LT(v, MetricsRegistry::bucketUpperBound(i)) << v;
+  }
+  // Edges are contiguous: bucket i's upper bound is bucket i+1's lower.
+  for (std::size_t i = 0; i + 1 < MetricsRegistry::kHistogramBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(MetricsRegistry::bucketUpperBound(i),
+                     MetricsRegistry::bucketLowerBound(i + 1));
+  }
+}
+
+TEST_F(ObsTest, HistogramQuantilesMergeResetAndSummaryTable) {
+  MetricsRegistry registry;
+  const MetricsRegistry::Histogram hist =
+      registry.histogram("t.check_seconds");
+  for (int i = 1; i <= 100; ++i) hist.record(i * 0.001);  // 1ms..100ms
+  EXPECT_EQ(hist.count(), 100u);
+  // value() reports the sample count for histograms.
+  EXPECT_DOUBLE_EQ(registry.value("t.check_seconds"), 100.0);
+
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const MetricsRegistry::Sample& sample = samples[0];
+  EXPECT_EQ(sample.kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(sample.count, 100u);
+  EXPECT_NEAR(sample.sum, 5.05, 1e-9);
+  const double p50 = MetricsRegistry::quantile(sample, 0.50);
+  const double p90 = MetricsRegistry::quantile(sample, 0.90);
+  const double p99 = MetricsRegistry::quantile(sample, 0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Power-of-two buckets bound the relative error by 2x.
+  EXPECT_GE(p50, 0.050 / 2.0);
+  EXPECT_LE(p50, 0.050 * 2.0);
+  EXPECT_GE(p99, 0.099 / 2.0);
+  EXPECT_LE(p99, 0.099 * 2.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::quantile(sample, 0.0),
+                   MetricsRegistry::quantile(sample, 0.0));
+
+  // Merge adds bucket-wise (count + sum follow).
+  MetricsRegistry other;
+  other.record("t.check_seconds", 0.004);
+  other.merge(samples);
+  EXPECT_DOUBLE_EQ(other.value("t.check_seconds"), 101.0);
+  const auto merged = other.snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged[0].sum, 5.054, 1e-9);
+
+  // The summary table renders histograms with quantile estimates.
+  const std::string table = other.summaryTable();
+  EXPECT_NE(table.find("t.check_seconds"), std::string::npos);
+  EXPECT_NE(table.find("(histogram)"), std::string::npos);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+
+  // reset() zeroes values but keeps handles valid.
+  registry.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  hist.record(0.5);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// ---- machine-readable export ------------------------------------------------
+
+TEST_F(ObsTest, PrometheusExportIsWellFormed) {
+  MetricsRegistry registry;
+  registry.add("aed.runs", 3.0);
+  registry.set("sim.cache-fill%", 0.5);  // name needing sanitization
+  registry.record("smt.check_seconds", 0.002);
+  registry.record("smt.check_seconds", 0.004);
+  const std::string text = metricsToPrometheus(registry.snapshot());
+
+  EXPECT_NE(text.find("# TYPE aed_runs counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("aed_runs 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE sim_cache_fill_ gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE smt_check_seconds histogram"),
+            std::string::npos)
+      << text;
+  // Cumulative buckets: 0.002 and 0.004 land in adjacent power-of-two
+  // buckets, so the second bucket's cumulative count is 2 — and the
+  // mandatory +Inf bucket equals _count.
+  EXPECT_NE(text.find("smt_check_seconds_bucket{le=\"0.00390625\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("smt_check_seconds_bucket{le=\"0.0078125\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("smt_check_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("smt_check_seconds_count 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("smt_check_seconds_sum 0.006"), std::string::npos)
+      << text;
+  // Every non-comment line is `name{labels} value` or `name value` with a
+  // sanitized name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (const char c : name) {
+      const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '_' || c == ':' || c == '{' || c == '}' ||
+                      c == '"' || c == '=' || c == '+' || c == '.';
+      EXPECT_TRUE(ok) << line;
+    }
+  }
+}
+
+TEST_F(ObsTest, JsonExportIsValidAndSelfDescribing) {
+  MetricsRegistry registry;
+  registry.add("aed.runs", 2.0);
+  registry.record("smt.check_seconds", 0.002);
+  const std::string json = metricsToJson(registry.snapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  for (const char* field :
+       {"\"metrics\"", "\"name\"", "\"kind\"", "\"histogram\"", "\"count\"",
+        "\"p50\"", "\"p90\"", "\"p99\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // An empty snapshot still renders valid JSON.
+  const std::string empty = metricsToJson({});
+  JsonChecker emptyChecker(empty);
+  EXPECT_TRUE(emptyChecker.valid()) << empty;
+}
+
+TEST_F(ObsTest, ExportMetricsFilePicksFormatByExtension) {
+  MetricsRegistry::global().add("t.export_probe", 1.0);
+  const std::string jsonPath = "obs_test_metrics.json";
+  const std::string promPath = "obs_test_metrics.prom";
+  ASSERT_TRUE(exportMetricsFile(jsonPath));
+  ASSERT_TRUE(exportMetricsFile(promPath));
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string json = slurp(jsonPath);
+  const std::string prom = slurp(promPath);
+  std::remove(jsonPath.c_str());
+  std::remove(promPath.c_str());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+  EXPECT_NE(json.find("t.export_probe"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE t_export_probe counter"), std::string::npos);
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+TEST_F(ObsTest, FlightRingWrapsAndKeepsTheNewestEvents) {
+  constexpr std::size_t kCap = FlightRecorder::kEventsPerThread;
+  const std::size_t total = kCap + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    FlightRecorder::recordLog("INFO", "line-" + std::to_string(i));
+  }
+  const auto events = FlightRecorder::collect();
+  ASSERT_EQ(events.size(), kCap);
+  // Oldest events were overwritten; exactly the newest kCap survive, in
+  // global seq order.
+  EXPECT_EQ(std::string_view(events.front().text),
+            "INFO line-" + std::to_string(total - kCap));
+  EXPECT_EQ(std::string_view(events.back().text),
+            "INFO line-" + std::to_string(total - 1));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  FlightRecorder::clear();
+  EXPECT_TRUE(FlightRecorder::collect().empty());
+}
+
+TEST_F(ObsTest, FlightRecorderCapturesSpansAndTruncatesText) {
+  ASSERT_FALSE(Tracer::enabled());  // flight capture works without tracing
+  {
+    Span span("t.flight", "detail-value");
+  }
+  const std::string longDetail(300, 'x');
+  {
+    Span span("t.long", std::string(longDetail));
+  }
+  const auto events = FlightRecorder::collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, 's');
+  EXPECT_EQ(std::string_view(events[0].text), "t.flight detail-value");
+  EXPECT_GE(events[0].durUs, 0);
+  EXPECT_EQ(std::strlen(events[1].text), FlightRecorder::kTextCapacity);
+  // Tracer stayed empty: the ring write is independent of tracing.
+  EXPECT_TRUE(Tracer::collect().empty());
+}
+
+TEST_F(ObsTest, FlightDumpRenderIsValidJsonWithSections) {
+  FlightRecorder::recordLog("WARN", "something odd");
+  {
+    Span span("t.render");
+  }
+  FlightRecorder::DumpContext ctx;
+  ctx.reason = "unit-test";
+  ctx.errorCode = "internal";
+  ctx.detail = "detail with \"quotes\" and\nnewline";
+  ctx.sections.emplace_back("subproblems", "[{\"index\": 0}]");
+  const std::string dump = FlightRecorder::renderDump(ctx);
+  JsonChecker checker(dump);
+  EXPECT_TRUE(checker.valid()) << dump;
+  for (const char* field :
+       {"\"aed_flight_dump\"", "\"reason\": \"unit-test\"", "\"error_code\"",
+        "\"events\"", "\"kind\": \"log\"", "\"kind\": \"span\"",
+        "\"metrics\"", "\"subproblems\""}) {
+    EXPECT_NE(dump.find(field), std::string::npos) << field;
+  }
+}
+
+TEST_F(ObsTest, MaybeDumpRequiresAConfiguredPath) {
+  FlightRecorder::DumpContext ctx;
+  ctx.reason = "no-path";
+  EXPECT_EQ(FlightRecorder::maybeDump(ctx), "");
+  const std::string path = "obs_test_dump.json";
+  FlightRecorder::setDumpPath(path);
+  EXPECT_EQ(FlightRecorder::maybeDump(ctx), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_NE(buffer.str().find("no-path"), std::string::npos);
+}
+
+/// Reads and deletes a dump file; empty string when it does not exist.
+std::string consumeDump(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+TEST_F(ObsTest, FlightDumpWrittenOnCancelledRun) {
+  const std::string path = "obs_test_cancel.flight.json";
+  FlightRecorder::setDumpPath(path);
+  AedOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->requestStop();
+  const AedResult result =
+      synthesize(parseNetworkConfig(figure1ConfigText()),
+                 figure1AllPolicies(), {}, options);
+  ASSERT_FALSE(result.success);
+  const std::string dump = consumeDump(path);
+  ASSERT_FALSE(dump.empty());
+  JsonChecker checker(dump);
+  EXPECT_TRUE(checker.valid()) << dump;
+  EXPECT_NE(dump.find("\"reason\": \"synthesize-failed\""),
+            std::string::npos);
+  EXPECT_NE(dump.find(errorCodeName(ErrorCode::kCancelled)),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"subproblems\""), std::string::npos);
+}
+
+TEST_F(ObsTest, FlightDumpWrittenOnThrownRun) {
+  const std::string path = "obs_test_thrown.flight.json";
+  FlightRecorder::setDumpPath(path);
+  ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  bool corrupted = false;
+  tree.root().visit([&corrupted](Node& node) {
+    if (!corrupted && node.attrs().count("seq") != 0) {
+      node.setAttr("seq", "bogus");
+      corrupted = true;
+    }
+  });
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(synthesize(tree, figure1AllPolicies()), AedError);
+  const std::string dump = consumeDump(path);
+  ASSERT_FALSE(dump.empty());
+  JsonChecker checker(dump);
+  EXPECT_TRUE(checker.valid()) << dump;
+  EXPECT_NE(dump.find("\"reason\": \"synthesize-failed\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, FlightDumpWrittenOnDegradedRun) {
+  const std::string path = "obs_test_degraded.flight.json";
+  FlightRecorder::setDumpPath(path);
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kUnknown;
+  const AedResult result =
+      synthesize(parseNetworkConfig(figure1ConfigText()),
+                 figure1AllPolicies(), {}, options);
+  const std::string dump = consumeDump(path);
+  ASSERT_FALSE(dump.empty()) << "degraded run must leave a dump";
+  JsonChecker checker(dump);
+  EXPECT_TRUE(checker.valid()) << dump;
+  EXPECT_NE(dump.find(result.success ? "synthesize-degraded"
+                                     : "synthesize-failed"),
+            std::string::npos);
+  // The per-subproblem section records which ladder rung answered.
+  EXPECT_NE(dump.find("\"rung\""), std::string::npos);
+}
+
+TEST_F(ObsTest, FlightDumpWrittenOnSubproblemThrowFault) {
+  // kThrow is an isolatable failure: the poisoned subproblem is recorded as
+  // failed but sibling work survives, so the run exits degraded (or failed
+  // when nothing else succeeded) — either way a dump must be written.
+  const std::string path = "obs_test_subthrow.flight.json";
+  FlightRecorder::setDumpPath(path);
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kThrow;
+  const AedResult result =
+      synthesize(parseNetworkConfig(figure1ConfigText()),
+                 figure1AllPolicies(), {}, options);
+  ASSERT_TRUE(!result.success || result.degraded);
+  const std::string dump = consumeDump(path);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find(result.success ? "synthesize-degraded"
+                                     : "synthesize-failed"),
+            std::string::npos);
+  // The poisoned subproblem's state is in the dump's subproblems section.
+  EXPECT_NE(dump.find("\"outcome\": \"error\""), std::string::npos);
+}
+
+TEST_F(ObsTest, FlightDumpWrittenOnDeployAbort) {
+  // Direct executeDeployment: the dump carries the deploy-abort reason and
+  // the per-stage section (when a deployment aborts inside synthesize(),
+  // the outer synthesize-degraded dump overwrites this one — outermost
+  // failure wins).
+  const ConfigTree tree = parseNetworkConfig(figure1ConfigText());
+  const PolicySet policies = figure1AllPolicies();
+  const AedResult result = synthesize(tree, policies);
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_FALSE(result.patch.empty());
+
+  const std::string path = "obs_test_deploy.flight.json";
+  FlightRecorder::setDumpPath(path);
+  DeploymentPlan plan = planStagedRollout(tree, result.patch, policies);
+  ASSERT_FALSE(plan.stages.empty());
+  DeployFaultInjection fault;
+  fault.kind = DeployFaultInjection::Kind::kStageCommitFailure;
+  fault.stage = 0;
+  fault.atEdit = 0;
+  ConfigTree staged = tree.clone();
+  ASSERT_FALSE(executeDeployment(staged, plan, {}, fault));
+  const std::string dump = consumeDump(path);
+  ASSERT_FALSE(dump.empty());
+  JsonChecker checker(dump);
+  EXPECT_TRUE(checker.valid()) << dump;
+  EXPECT_NE(dump.find("\"reason\": \"deploy-abort\""), std::string::npos);
+  EXPECT_NE(dump.find("\"stages\""), std::string::npos);
+  EXPECT_NE(dump.find("rolled_back"), std::string::npos);
+}
+
+TEST_F(ObsTest, NoFlightDumpOnCleanRun) {
+  const std::string path = "obs_test_clean.flight.json";
+  FlightRecorder::setDumpPath(path);
+  const AedResult result = synthesize(
+      parseNetworkConfig(figure1ConfigText()), figure1AllPolicies());
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_FALSE(result.degraded);
+  EXPECT_EQ(consumeDump(path), "");  // no dump file written
+}
+
+// Concurrent flight-ring writes racing collectors (the TSan target): worker
+// threads record spans and log lines while the main thread repeatedly
+// collects, renders, and clears.
+TEST_F(ObsTest, ConcurrentFlightWritesAndCollectsAreRaceFree) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 3000; ++i) {
+        Span span("flight.stress");
+        std::string line = "t";
+        line += std::to_string(t);
+        line += " i";
+        line += std::to_string(i);
+        FlightRecorder::recordLog("INFO", line);
+      }
+    });
+  }
+  FlightRecorder::DumpContext ctx;
+  ctx.reason = "stress";
+  for (int round = 0; round < 20; ++round) {
+    const auto events = FlightRecorder::collect();
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      ASSERT_LT(events[i - 1].seq, events[i].seq);
+    }
+    const std::string dump = FlightRecorder::renderDump(ctx);
+    EXPECT_NE(dump.find("\"aed_flight_dump\""), std::string::npos);
+    if (round % 5 == 4) FlightRecorder::clear();
+  }
+  for (auto& thread : threads) thread.join();
+  // Post-join sanity: the recorder still works after the churn.
+  FlightRecorder::clear();
+  FlightRecorder::recordLog("INFO", "tail");
+  const auto events = FlightRecorder::collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string_view(events[0].text), "INFO tail");
+}
+
+TEST_F(ObsTest, LogLinesReachTheFlightRing) {
+  setLogSink([](LogLevel, const std::string&) {});
+  logWarn() << "ring-bound warning";
+  const auto events = FlightRecorder::collect();
+  bool found = false;
+  for (const auto& event : events) {
+    if (event.kind == 'l' &&
+        std::string_view(event.text).find("ring-bound warning") !=
+            std::string_view::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- solver introspection ---------------------------------------------------
+
+TEST_F(ObsTest, SolverStatsSurfaceInSubproblemReports) {
+  const AedResult result = synthesize(
+      parseNetworkConfig(figure1ConfigText()), figure1AllPolicies());
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_FALSE(result.subproblems.empty());
+  std::size_t rungTotal = 0;
+  for (const std::size_t count : result.stats.rungCounts) rungTotal += count;
+  EXPECT_GE(rungTotal, result.subproblems.size());
+  EXPECT_EQ(result.stats.rungCounts[static_cast<std::size_t>(
+                SolveRung::kNone)],
+            0u);
+  for (const SubproblemReport& report : result.subproblems) {
+    EXPECT_NE(report.rung, SolveRung::kNone) << report.destination;
+    EXPECT_NE(std::string(solveRungName(report.rung)), "none");
+    EXPECT_GE(report.solverStats.checks, 1u) << report.destination;
+    EXPECT_GT(report.solverStats.vars, 0u) << report.destination;
+    EXPECT_GT(report.solverStats.assertions, 0u) << report.destination;
+  }
+}
+
+TEST_F(ObsTest, DegradationLadderReportsTheAnsweringRungAndWhy) {
+  AedOptions options;
+  options.faultInjection.kind = FaultInjection::Kind::kUnknown;
+  const AedResult result =
+      synthesize(parseNetworkConfig(figure1ConfigText()),
+                 figure1AllPolicies(), {}, options);
+  // The poisoned subproblem's full MaxSMT check answers unknown, so a lower
+  // rung must have answered — and the reason string explains it.
+  bool sawDegradedRung = false;
+  for (const SubproblemReport& report : result.subproblems) {
+    if (report.rung == SolveRung::kNoMinimality ||
+        report.rung == SolveRung::kHardOnly) {
+      sawDegradedRung = true;
+      EXPECT_FALSE(report.rungReason.empty());
+    }
+  }
+  EXPECT_TRUE(sawDegradedRung);
+}
+
+// ---- snapshot completeness --------------------------------------------------
+
+// Every known stat family must appear in the exported snapshot after a
+// staged run: a mirroring regression (a legacy struct field that stops being
+// published) fails here by name.
+TEST_F(ObsTest, SnapshotContainsEveryKnownStatFamily) {
+  AedOptions options;
+  options.stagedDeployment = true;
+  const AedResult result =
+      synthesize(parseNetworkConfig(figure1ConfigText()),
+                 figure1AllPolicies(), {}, options);
+  ASSERT_TRUE(result.success) << result.error;
+
+  std::set<std::string> names;
+  for (const auto& sample : MetricsRegistry::global().snapshot()) {
+    names.insert(sample.name);
+  }
+  for (const char* required : {
+           // run accounting
+           "aed.runs", "aed.subproblems", "aed.total_seconds",
+           "aed.repair_rounds",
+           // degradation-ladder outcome counts (mirrored even at zero)
+           "smt.rung.warm_start", "smt.rung.full", "smt.rung.no_minimality",
+           "smt.rung.hard_only", "smt.rung.unsat", "smt.rung.gave_up",
+           // simulation cache accounting, incl. eviction/quarantine
+           "sim.route_hits", "sim.route_misses", "sim.evictions",
+           "sim.quarantined_tables",
+           // deployment stage accounting
+           "deploy.executions", "deploy.stages_committed",
+           // latency histograms (§12)
+           "smt.check_seconds", "aed.subproblem_seconds", "aed.round_seconds",
+           "sim.shard_seconds", "deploy.stage_validate_seconds",
+           // solver-effort histograms
+           "smt.conflicts", "smt.decisions",
+       }) {
+    EXPECT_TRUE(names.count(required) == 1)
+        << "missing from snapshot: " << required;
+  }
 }
 
 // ---- synthesis integration --------------------------------------------------
